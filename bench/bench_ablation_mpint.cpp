@@ -1,0 +1,96 @@
+// Ablation B: multiprecision-arithmetic design choices.
+//
+// Sensitivity of the numeric substrate underlying every protocol cost:
+//  * Montgomery windowed exponentiation vs naive square-and-multiply,
+//  * Karatsuba vs schoolbook multiplication across operand sizes,
+//  * modular reduction via Knuth division (the mod-mul primitive).
+#include <benchmark/benchmark.h>
+
+#include "hash/hmac_drbg.h"
+#include "mpint/montgomery.h"
+#include "mpint/random.h"
+
+using namespace idgka;
+using mpint::BigInt;
+
+namespace {
+
+BigInt random_odd(std::size_t bits, std::uint64_t seed) {
+  hash::HmacDrbg rng(seed, "ablation-mpint");
+  BigInt m = mpint::random_bits(rng, bits);
+  if (m.is_even()) m += BigInt{1};
+  return m;
+}
+
+void BM_MontgomeryPow(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = random_odd(bits, 1);
+  hash::HmacDrbg rng(2, "pow");
+  const BigInt base = mpint::random_below(rng, m);
+  const BigInt exp = mpint::random_bits(rng, bits);
+  const mpint::MontgomeryCtx ctx(m);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.pow(base, exp));
+}
+BENCHMARK(BM_MontgomeryPow)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_NaiveSquareMultiply(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = random_odd(bits, 1);
+  hash::HmacDrbg rng(2, "pow");
+  const BigInt base = mpint::random_below(rng, m);
+  const BigInt exp = mpint::random_bits(rng, bits);
+  for (auto _ : state) {
+    BigInt acc{1};
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      acc = mpint::mod_mul(acc, acc, m);
+      if (exp.bit(i)) acc = mpint::mod_mul(acc, base, m);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_NaiveSquareMultiply)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Multiply(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  hash::HmacDrbg rng(3, "mul");
+  const BigInt a = mpint::random_bits(rng, bits);
+  const BigInt b = mpint::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+// 1536 limbs*64 = below Karatsuba threshold; larger sizes cross it.
+BENCHMARK(BM_Multiply)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192)->Arg(16384);
+
+void BM_ModMul(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = random_odd(bits, 4);
+  hash::HmacDrbg rng(5, "modmul");
+  const BigInt a = mpint::random_below(rng, m);
+  const BigInt b = mpint::random_below(rng, m);
+  for (auto _ : state) benchmark::DoNotOptimize(mpint::mod_mul(a, b, m));
+}
+BENCHMARK(BM_ModMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MontgomeryMul(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = random_odd(bits, 4);
+  hash::HmacDrbg rng(5, "modmul");
+  const BigInt a = mpint::random_below(rng, m);
+  const BigInt b = mpint::random_below(rng, m);
+  const mpint::MontgomeryCtx ctx(m);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.mul(a, b));
+}
+BENCHMARK(BM_MontgomeryMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModInverse(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt m = random_odd(bits, 6);
+  hash::HmacDrbg rng(7, "inv");
+  BigInt a = mpint::random_below(rng, m);
+  while (!mpint::gcd(a, m).is_one()) a = mpint::random_below(rng, m);
+  for (auto _ : state) benchmark::DoNotOptimize(mpint::mod_inverse(a, m));
+}
+BENCHMARK(BM_ModInverse)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

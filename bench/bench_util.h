@@ -1,0 +1,33 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "energy/profiles.h"
+#include "gka/complexity.h"
+#include "gka/session.h"
+
+namespace idgka::bench {
+
+inline std::vector<std::uint32_t> make_ids(std::size_t n, std::uint32_t base = 1000) {
+  std::vector<std::uint32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = base + static_cast<std::uint32_t>(i);
+  return ids;
+}
+
+/// Per-node total energy (J) for the initial GKA of `scheme` at size n under
+/// the formula ledgers (validated == instrumented by the test suite).
+inline double initial_energy_j(gka::Scheme scheme, std::size_t n,
+                               const energy::RadioProfile& radio) {
+  const energy::Ledger ledger = gka::impl_initial_ledger(scheme, n);
+  return energy::ledger_energy_mj(ledger, energy::strongarm(), radio) / 1000.0;
+}
+
+inline void rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace idgka::bench

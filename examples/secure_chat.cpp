@@ -1,0 +1,80 @@
+// Secure group messaging on top of the agreed key.
+//
+// Demonstrates the end-to-end purpose of the GKA: once the ring agrees on
+// K, members derive an AES-128 session key and exchange authenticated-
+// by-construction broadcasts (SealedBox = E_K(payload || sender), the
+// paper's identity-check pattern). A member that leaves can no longer read
+// the re-keyed traffic — shown explicitly.
+#include <cstdio>
+#include <string>
+
+#include "gka/session.h"
+#include "symc/sealed_box.h"
+
+using namespace idgka;
+
+namespace {
+
+// Chat text rides in a BigInt payload (the SealedBox payload type).
+mpint::BigInt encode_text(const std::string& text) {
+  return mpint::BigInt::from_bytes_be(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::string decode_text(const mpint::BigInt& payload) {
+  const auto bytes = payload.to_bytes_be();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool deliver(const symc::SealedBox& box, const std::vector<std::uint8_t>& wire,
+             std::uint32_t sender, std::uint64_t seq, const char* receiver_label) {
+  const auto opened = box.open(wire, sender, seq);
+  if (!opened.has_value()) {
+    std::printf("  [%s] REJECTED message from %u (bad key or identity)\n", receiver_label,
+                sender);
+    return false;
+  }
+  std::printf("  [%s] %u says: \"%s\"\n", receiver_label, sender,
+              decode_text(*opened).c_str());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  gka::Authority authority(gka::SecurityProfile::kTest, 3141);
+  gka::GroupSession session(authority, gka::Scheme::kProposed, {1, 2, 3, 4}, 59);
+  if (!session.form().success) return 1;
+  std::printf("chat group {1,2,3,4} established, key %s...\n\n",
+              session.key().to_hex().substr(0, 16).c_str());
+
+  // Every member derives the same box from the group key.
+  {
+    const symc::SealedBox box(session.key());
+    std::uint64_t seq = 0;
+    const auto hello = box.seal(encode_text("status: all clear"), /*sender=*/1, ++seq);
+    deliver(box, hello, 1, seq, "node 2");
+    deliver(box, hello, 1, seq, "node 4");
+
+    const auto reply = box.seal(encode_text("ack, moving to waypoint"), /*sender=*/3, ++seq);
+    deliver(box, reply, 3, seq, "node 1");
+  }
+
+  // Node 4 leaves; the ring re-keys with the paper's Leave protocol.
+  const mpint::BigInt old_key = session.key();
+  if (!session.leave(4).success) return 1;
+  std::printf("\nnode 4 left; group re-keyed to %s...\n\n",
+              session.key().to_hex().substr(0, 16).c_str());
+
+  const symc::SealedBox new_box(session.key());
+  const symc::SealedBox stale_box(old_key);  // what node 4 still holds
+  const auto secret = new_box.seal(encode_text("new rally point: grid 7"), 2, 1);
+
+  std::printf("current member receives the re-keyed broadcast:\n");
+  deliver(new_box, secret, 2, 1, "node 3");
+  std::printf("departed node 4 tries with the old key:\n");
+  deliver(stale_box, secret, 2, 1, "node 4");
+
+  std::printf("\nforward secrecy demonstrated: the departed member cannot decrypt.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Sensor-network battery-lifetime study.
+//
+// Low-power sensor nodes (the paper's 133 MHz StrongARM + 100 kbps radio
+// class) re-key their group periodically. This example simulates a fleet
+// with a fixed per-node battery budget and asks: how many authenticated
+// group re-keyings can each protocol afford before the battery is spent on
+// security alone? It reproduces the paper's conclusion from the deployment
+// angle: the proposed scheme and its dynamic protocols stretch battery
+// life by an order of magnitude over signature-per-message baselines.
+#include <cstdio>
+
+#include "energy/profiles.h"
+#include "gka/complexity.h"
+
+using namespace idgka;
+
+namespace {
+
+// A AA-class battery dedicates ~100 J to security operations (a few percent
+// of its ~10 kJ capacity).
+constexpr double kSecurityBudgetJ = 100.0;
+
+double rekey_cost_j(gka::Scheme scheme, std::size_t n, const energy::RadioProfile& radio) {
+  return energy::ledger_energy_mj(gka::impl_initial_ledger(scheme, n), energy::strongarm(),
+                                  radio) /
+         1000.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t fleet_sizes[] = {10, 50, 100};
+  const gka::Scheme schemes[] = {gka::Scheme::kProposed, gka::Scheme::kSsn,
+                                 gka::Scheme::kBdEcdsa, gka::Scheme::kBdDsa,
+                                 gka::Scheme::kBdSok};
+
+  std::printf("=== Sensor fleet: group re-keyings per %.0f J security budget ===\n\n",
+              kSecurityBudgetJ);
+  for (const auto* radio : {&energy::radio_100kbps(), &energy::wlan_spectrum24()}) {
+    std::printf("radio: %s\n", radio->name.c_str());
+    std::printf("  %-12s", "fleet size");
+    for (const auto scheme : schemes) std::printf(" %16s", gka::scheme_name(scheme));
+    std::printf("\n");
+    for (const std::size_t n : fleet_sizes) {
+      std::printf("  n=%-10zu", n);
+      for (const auto scheme : schemes) {
+        const double cost = rekey_cost_j(scheme, n, *radio);
+        std::printf(" %16.0f", kSecurityBudgetJ / cost);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Churn-heavy deployment: most events are joins/leaves, not full re-keys.
+  std::printf("=== Churn workload: 1 formation + 200 membership events (n~100) ===\n\n");
+  const auto& wlan = energy::wlan_spectrum24();
+  const auto leave = gka::impl_dynamic_ledgers(gka::DynamicEvent::kLeave, 100);
+  const auto join = gka::impl_dynamic_ledgers(gka::DynamicEvent::kJoin, 100);
+
+  const double proposed_j =
+      rekey_cost_j(gka::Scheme::kProposed, 100, wlan) +
+      100 * energy::ledger_energy_mj(join.at(gka::Role::kOther), energy::strongarm(), wlan) /
+          1000.0 +
+      100 *
+          energy::ledger_energy_mj(leave.at(gka::Role::kEvenSurvivor), energy::strongarm(),
+                                   wlan) /
+          1000.0;
+  const double reexec_j = rekey_cost_j(gka::Scheme::kBdEcdsa, 100, wlan) * 201;
+
+  std::printf("proposed dynamic protocols (passive member): %7.2f J\n", proposed_j);
+  std::printf("BD+ECDSA re-execution per event:             %7.2f J\n", reexec_j);
+  std::printf("battery-life ratio: %.0fx\n", reexec_j / proposed_j);
+  return 0;
+}

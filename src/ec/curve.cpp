@@ -1,0 +1,260 @@
+#include "ec/curve.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "mpint/prime.h"
+
+namespace idgka::ec {
+
+Curve::Curve(std::string name, BigInt p, BigInt a, BigInt b, Point g, BigInt n, BigInt h)
+    : name_(std::move(name)),
+      p_(std::move(p)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      g_(std::move(g)),
+      n_(std::move(n)),
+      h_(std::move(h)) {
+  if (!is_on_curve(g_)) throw std::invalid_argument("Curve: generator not on curve");
+}
+
+BigInt Curve::fadd(const BigInt& x, const BigInt& y) const {
+  BigInt r = x + y;
+  if (r >= p_) r -= p_;
+  return r;
+}
+
+BigInt Curve::fsub(const BigInt& x, const BigInt& y) const {
+  BigInt r = x - y;
+  if (r.negative()) r += p_;
+  return r;
+}
+
+BigInt Curve::fmul(const BigInt& x, const BigInt& y) const { return (x * y).mod(p_); }
+
+bool Curve::is_on_curve(const Point& pt) const {
+  if (pt.infinity) return true;
+  const BigInt lhs = fmul(pt.y, pt.y);
+  const BigInt rhs = fadd(fadd(fmul(fmul(pt.x, pt.x), pt.x), fmul(a_, pt.x)), b_);
+  return lhs == rhs;
+}
+
+Point Curve::neg(const Point& pt) const {
+  if (pt.infinity) return pt;
+  return Point{pt.x, pt.y.is_zero() ? BigInt{} : p_ - pt.y, false};
+}
+
+Curve::Jac Curve::to_jac(const Point& pt) const {
+  if (pt.infinity) return Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  return Jac{pt.x, pt.y, BigInt{1}};
+}
+
+Point Curve::from_jac(const Jac& j) const {
+  if (j.z.is_zero()) return Point::at_infinity();
+  const BigInt z_inv = mpint::mod_inverse(j.z, p_);
+  const BigInt z2 = fmul(z_inv, z_inv);
+  return Point{fmul(j.x, z2), fmul(j.y, fmul(z2, z_inv)), false};
+}
+
+Curve::Jac Curve::jac_dbl(const Jac& p1) const {
+  if (p1.z.is_zero() || p1.y.is_zero()) return Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  // dbl-2007-bl style (general a).
+  const BigInt xx = fmul(p1.x, p1.x);
+  const BigInt yy = fmul(p1.y, p1.y);
+  const BigInt yyyy = fmul(yy, yy);
+  const BigInt zz = fmul(p1.z, p1.z);
+  // S = 2*((X+YY)^2 - XX - YYYY)
+  const BigInt t = fmul(fadd(p1.x, yy), fadd(p1.x, yy));
+  const BigInt s = fadd(fsub(fsub(t, xx), yyyy), fsub(fsub(t, xx), yyyy));
+  // M = 3*XX + a*ZZ^2
+  const BigInt m = fadd(fadd(fadd(xx, xx), xx), fmul(a_, fmul(zz, zz)));
+  const BigInt x3 = fsub(fmul(m, m), fadd(s, s));
+  BigInt y3 = fsub(fmul(m, fsub(s, x3)), fadd(fadd(fadd(yyyy, yyyy), fadd(yyyy, yyyy)),
+                                              fadd(fadd(yyyy, yyyy), fadd(yyyy, yyyy))));
+  // Z3 = (Y+Z)^2 - YY - ZZ
+  const BigInt u = fmul(fadd(p1.y, p1.z), fadd(p1.y, p1.z));
+  const BigInt z3 = fsub(fsub(u, yy), zz);
+  return Jac{x3, y3, z3};
+}
+
+Curve::Jac Curve::jac_add(const Jac& p1, const Jac& p2) const {
+  if (p1.z.is_zero()) return p2;
+  if (p2.z.is_zero()) return p1;
+  const BigInt z1z1 = fmul(p1.z, p1.z);
+  const BigInt z2z2 = fmul(p2.z, p2.z);
+  const BigInt u1 = fmul(p1.x, z2z2);
+  const BigInt u2 = fmul(p2.x, z1z1);
+  const BigInt s1 = fmul(p1.y, fmul(p2.z, z2z2));
+  const BigInt s2 = fmul(p2.y, fmul(p1.z, z1z1));
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(p1);
+    return Jac{BigInt{1}, BigInt{1}, BigInt{}};  // P + (-P) = O
+  }
+  const BigInt h = fsub(u2, u1);
+  const BigInt i = fmul(fadd(h, h), fadd(h, h));
+  const BigInt j = fmul(h, i);
+  const BigInt r = fadd(fsub(s2, s1), fsub(s2, s1));
+  const BigInt v = fmul(u1, i);
+  const BigInt x3 = fsub(fsub(fmul(r, r), j), fadd(v, v));
+  const BigInt y3 = fsub(fmul(r, fsub(v, x3)), fadd(fmul(s1, j), fmul(s1, j)));
+  const BigInt z3 = fmul(fsub(fsub(fmul(fadd(p1.z, p2.z), fadd(p1.z, p2.z)), z1z1), z2z2), h);
+  return Jac{x3, y3, z3};
+}
+
+Point Curve::add(const Point& p1, const Point& p2) const {
+  return from_jac(jac_add(to_jac(p1), to_jac(p2)));
+}
+
+Point Curve::dbl(const Point& pt) const { return from_jac(jac_dbl(to_jac(pt))); }
+
+Point Curve::mul(const BigInt& k_in, const Point& pt) const {
+  return mul_raw(k_in.mod(n_), pt);
+}
+
+Point Curve::mul_raw(const BigInt& k_in, const Point& pt) const {
+  BigInt k = k_in;
+  if (k.negative()) return mul_raw(-k, neg(pt));
+  if (k.is_zero() || pt.infinity) return Point::at_infinity();
+
+  // 4-bit window over Jacobian coordinates.
+  const Jac base = to_jac(pt);
+  std::array<Jac, 16> table;
+  table[0] = Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  table[1] = base;
+  for (std::size_t i = 2; i < 16; ++i) table[i] = jac_add(table[i - 1], base);
+
+  Jac acc{BigInt{1}, BigInt{1}, BigInt{}};
+  const std::size_t windows = (k.bit_length() + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    acc = jac_dbl(acc);
+    acc = jac_dbl(acc);
+    acc = jac_dbl(acc);
+    acc = jac_dbl(acc);
+    std::size_t digit = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (k.bit(w * 4 + b)) digit |= 1ULL << b;
+    }
+    if (digit != 0) acc = jac_add(acc, table[digit]);
+  }
+  return from_jac(acc);
+}
+
+Point Curve::mul_add(const BigInt& k1, const BigInt& k2, const Point& q) const {
+  // Shamir's trick: simultaneous ladder over G and Q.
+  const Jac jg = to_jac(g_);
+  const Jac jq = to_jac(q);
+  const Jac jgq = jac_add(jg, jq);
+  const BigInt a = k1.mod(n_);
+  const BigInt b = k2.mod(n_);
+  const std::size_t bits = std::max(a.bit_length(), b.bit_length());
+  Jac acc{BigInt{1}, BigInt{1}, BigInt{}};
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = jac_dbl(acc);
+    const bool ba = a.bit(i);
+    const bool bb = b.bit(i);
+    if (ba && bb) acc = jac_add(acc, jgq);
+    else if (ba) acc = jac_add(acc, jg);
+    else if (bb) acc = jac_add(acc, jq);
+  }
+  return from_jac(acc);
+}
+
+const Curve& secp160r1() {
+  static const Curve curve = [] {
+    const BigInt p = BigInt::from_hex("ffffffffffffffffffffffffffffffff7fffffff");
+    const BigInt a = p - BigInt{3};
+    const BigInt b = BigInt::from_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45");
+    const Point g{BigInt::from_hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+                  BigInt::from_hex("23a628553168947d59dcc912042351377ac5fb32"), false};
+    const BigInt n = BigInt::from_hex("0100000000000000000001f4c8f927aed3ca752257");
+    return Curve("secp160r1", p, a, b, g, n, BigInt{1});
+  }();
+  return curve;
+}
+
+const Curve& p256() {
+  static const Curve curve = [] {
+    const BigInt p = BigInt::from_hex(
+        "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+    const BigInt a = p - BigInt{3};
+    const BigInt b = BigInt::from_hex(
+        "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+    const Point g{BigInt::from_hex(
+                      "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+                  BigInt::from_hex(
+                      "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+                  false};
+    const BigInt n = BigInt::from_hex(
+        "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+    return Curve("P-256", p, a, b, g, n, BigInt{1});
+  }();
+  return curve;
+}
+
+Curve generate_toy_curve(mpint::Rng& rng, std::size_t bits) {
+  if (bits < 8 || bits > 28) {
+    throw std::invalid_argument("generate_toy_curve: bits must be in [8, 28]");
+  }
+  const BigInt p = mpint::generate_prime(rng, bits, 24);
+  const std::uint64_t pu = p.low_u64();
+  while (true) {
+    const std::uint64_t a = mpint::random_below(rng, p).low_u64();
+    const std::uint64_t b = mpint::random_below(rng, p).low_u64();
+    // Reject singular curves: 4a^3 + 27b^2 == 0 mod p.
+    const unsigned __int128 disc =
+        (static_cast<unsigned __int128>(4) * a % pu * a % pu * a +
+         static_cast<unsigned __int128>(27) * b % pu * b) % pu;
+    if (disc == 0) continue;
+
+    // Count points directly: infinity + (2 per quadratic-residue RHS,
+    // 1 per zero RHS). Equivalent to #E = p + 1 + sum_x chi(x^3+ax+b).
+    std::uint64_t count = 1;
+    std::uint64_t first_x = 0;
+    bool have_point = false;
+    std::uint64_t first_y = 0;
+    for (std::uint64_t x = 0; x < pu; ++x) {
+      const unsigned __int128 rhs128 =
+          ((static_cast<unsigned __int128>(x) * x % pu * x) +
+           (static_cast<unsigned __int128>(a) * x) + b) % pu;
+      const std::uint64_t rhs = static_cast<std::uint64_t>(rhs128);
+      if (rhs == 0) {
+        ++count;  // one point with y == 0
+        continue;
+      }
+      const int chi = mpint::jacobi(BigInt{rhs}, p);
+      if (chi == 1) {
+        count += 2;
+        if (!have_point) {
+          BigInt root;
+          // p was chosen freely; only use sqrt when p % 4 == 3, otherwise
+          // search y directly (p is tiny).
+          if ((pu & 3U) == 3U && mpint::sqrt_mod_p3(BigInt{rhs}, p, root)) {
+            first_x = x;
+            first_y = root.low_u64();
+            have_point = true;
+          } else if ((pu & 3U) != 3U) {
+            for (std::uint64_t y = 1; y < pu; ++y) {
+              if (static_cast<unsigned __int128>(y) * y % pu == rhs) {
+                first_x = x;
+                first_y = y;
+                have_point = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    const BigInt order{count};
+    if (!have_point) continue;
+    if (!mpint::is_probable_prime(order, rng, 24)) continue;
+
+    const Point g{BigInt{first_x}, BigInt{first_y}, false};
+    Curve curve("toy" + std::to_string(bits), p, BigInt{a}, BigInt{b}, g, order, BigInt{1});
+    // Sanity: n*G == O.
+    if (!curve.mul(order, g).infinity) continue;
+    return curve;
+  }
+}
+
+}  // namespace idgka::ec

@@ -1,0 +1,72 @@
+// Operation taxonomy for energy accounting.
+//
+// The paper prices protocols by counting primitive operations (Table 1 / 4)
+// and multiplying by per-operation energy constants (Tables 2 / 3). The
+// protocols in src/gka record every such operation they perform into a
+// per-node Ledger; device profiles then convert the ledger into joules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace idgka::energy {
+
+/// Primitive operations the paper's cost model distinguishes.
+enum class Op : std::uint8_t {
+  kModExp = 0,      ///< modular exponentiation (BD / SSN / DH steps)
+  kMapToPoint,      ///< hash-to-curve (pairing schemes)
+  kTatePairing,     ///< one Tate pairing evaluation
+  kScalarMul,       ///< EC scalar multiplication (outside sign/verify units)
+  kSignGenDsa,
+  kSignGenEcdsa,
+  kSignGenSok,
+  kSignGenGq,
+  kSignVerDsa,
+  kSignVerEcdsa,
+  kSignVerSok,
+  kSignVerGq,       ///< one GQ verification; the batch check costs one unit
+  kCertVerifyDsa,   ///< DSA-signed certificate check
+  kCertVerifyEcdsa, ///< ECDSA-signed certificate check
+  kSymEncBlock,     ///< one AES block encryption
+  kSymDecBlock,     ///< one AES block decryption
+  kHashBlock,       ///< one compression-function call (64-byte block)
+  kCount
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kCount);
+
+[[nodiscard]] constexpr std::string_view op_name(Op op) {
+  constexpr std::array<std::string_view, kOpCount> kNames = {
+      "ModExp",      "MapToPoint",  "TatePairing", "ScalarMul",
+      "SignGenDSA",  "SignGenECDSA", "SignGenSOK",  "SignGenGQ",
+      "SignVerDSA",  "SignVerECDSA", "SignVerSOK",  "SignVerGQ",
+      "CertVerifyDSA", "CertVerifyECDSA", "SymEncBlock", "SymDecBlock",
+      "HashBlock"};
+  return kNames[static_cast<std::size_t>(op)];
+}
+
+/// Per-node operation + traffic ledger.
+struct Ledger {
+  std::array<std::uint64_t, kOpCount> counts{};
+  std::uint64_t tx_bits = 0;
+  std::uint64_t rx_bits = 0;
+  std::uint64_t tx_messages = 0;
+  std::uint64_t rx_messages = 0;
+
+  void record(Op op, std::uint64_t n = 1) { counts[static_cast<std::size_t>(op)] += n; }
+  [[nodiscard]] std::uint64_t count(Op op) const {
+    return counts[static_cast<std::size_t>(op)];
+  }
+
+  Ledger& operator+=(const Ledger& o) {
+    for (std::size_t i = 0; i < kOpCount; ++i) counts[i] += o.counts[i];
+    tx_bits += o.tx_bits;
+    rx_bits += o.rx_bits;
+    tx_messages += o.tx_messages;
+    rx_messages += o.rx_messages;
+    return *this;
+  }
+};
+
+}  // namespace idgka::energy

@@ -1,0 +1,66 @@
+#include "gka/exchange.h"
+
+#include <algorithm>
+
+namespace idgka::gka {
+
+RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& sends,
+                           const std::vector<std::uint32_t>& receivers, int max_retries) {
+  RoundResult result;
+
+  // Which receivers still miss which sender's message?
+  auto expects = [&](std::uint32_t receiver, const RoundSend& send) {
+    if (send.message.sender == receiver) return false;
+    if (send.message.recipient.has_value()) return *send.message.recipient == receiver;
+    return std::find(send.group.begin(), send.group.end(), receiver) != send.group.end();
+  };
+
+  auto missing_somewhere = [&](const RoundSend& send) {
+    for (const std::uint32_t rx : receivers) {
+      if (expects(rx, send) && !result.collected[rx].contains(send.message.sender)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    // Transmit every message still missing at one or more receivers.
+    bool sent_any = false;
+    for (const RoundSend& send : sends) {
+      if (!missing_somewhere(send)) continue;
+      sent_any = true;
+      if (attempt > 0) ++result.retransmissions;
+      if (send.message.recipient.has_value()) {
+        network.unicast(send.message);
+      } else {
+        network.broadcast(send.message, send.group);
+      }
+    }
+    if (!sent_any) {
+      result.complete = true;
+      return result;
+    }
+    // Drain inboxes: keep the first copy of each (sender, receiver) pair.
+    for (const std::uint32_t rx : receivers) {
+      for (net::Message& msg : network.drain(rx)) {
+        result.collected[rx].try_emplace(msg.sender, std::move(msg));
+      }
+    }
+    // Completion check.
+    bool all_done = true;
+    for (const RoundSend& send : sends) {
+      if (missing_somewhere(send)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      result.complete = true;
+      return result;
+    }
+  }
+  return result;  // incomplete after cap
+}
+
+}  // namespace idgka::gka

@@ -1,0 +1,42 @@
+// Reliable round exchange over the lossy broadcast network.
+//
+// The paper's protocols assume every member eventually holds every round
+// message ("if equation (2) is incorrect, then all members will retransmit
+// again"). This helper runs one protocol round: everyone broadcasts, and
+// senders whose message failed to reach some receiver rebroadcast (the
+// radio cost of every attempt is accounted) until all inboxes are complete
+// or the retry cap is hit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace idgka::gka {
+
+/// One sender's contribution to a round.
+struct RoundSend {
+  net::Message message;
+  /// Receiver set for the broadcast (ring or subgroup).
+  std::vector<std::uint32_t> group;
+};
+
+/// Result of a reliable round: per-receiver, per-sender message map.
+struct RoundResult {
+  bool complete = false;
+  int retransmissions = 0;
+  /// collected[receiver][sender] = message.
+  std::map<std::uint32_t, std::map<std::uint32_t, net::Message>> collected;
+};
+
+/// Executes one reliable broadcast round. `receivers` lists every node that
+/// must end up with all messages addressed to it. A sender that is also a
+/// receiver implicitly "has" its own message.
+[[nodiscard]] RoundResult exchange_round(net::Network& network,
+                                         const std::vector<RoundSend>& sends,
+                                         const std::vector<std::uint32_t>& receivers,
+                                         int max_retries = 64);
+
+}  // namespace idgka::gka

@@ -1,0 +1,24 @@
+#include "gka/member.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idgka::gka {
+
+std::size_t MemberCtx::ring_index() const { return ring_index_of(cred.id); }
+
+std::size_t MemberCtx::ring_index_of(std::uint32_t member_id) const {
+  const auto it = std::find(ring.begin(), ring.end(), member_id);
+  if (it == ring.end()) throw std::logic_error("MemberCtx: id not in ring");
+  return static_cast<std::size_t>(it - ring.begin());
+}
+
+MemberCtx make_member(MemberCredentials cred, std::uint64_t seed) {
+  MemberCtx m;
+  const std::uint64_t node_seed = seed ^ (0x9E3779B97F4A7C15ULL * (cred.id + 1));
+  m.rng = std::make_unique<hash::HmacDrbg>(node_seed, "idgka-member");
+  m.cred = std::move(cred);
+  return m;
+}
+
+}  // namespace idgka::gka

@@ -1,0 +1,64 @@
+// Per-node protocol runtime state.
+//
+// Each member is an independent actor: it owns its credentials, its DRBG
+// (seeded per-node, so runs are reproducible), its energy ledger, and its
+// view of the ring (everyone's z / t values and the agreed key). Protocol
+// drivers only ever let a member compute from its own state plus messages
+// it received — the simulator enforces the paper's information flow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "energy/ops.h"
+#include "gka/params.h"
+#include "hash/hmac_drbg.h"
+
+namespace idgka::gka {
+
+/// Runtime state of one protocol participant.
+struct MemberCtx {
+  MemberCredentials cred;
+  std::unique_ptr<hash::HmacDrbg> rng;
+  energy::Ledger ledger;
+
+  // --- Ring state (established by a successful protocol run) ---
+  /// Own BD ephemeral r_i.
+  BigInt r;
+  /// Own GQ commitment (tau secret, t = tau^e public) — the proposed
+  /// scheme's Leave/Partition reuse stored tau/t for even-indexed members.
+  BigInt tau;
+  BigInt t;
+  /// Current ring (member ids in ring order). Identical across members.
+  std::vector<std::uint32_t> ring;
+  /// Everyone's z_j = g^{r_j}.
+  std::map<std::uint32_t, BigInt> z_map;
+  /// Everyone's GQ commitment t_j (proposed scheme only).
+  std::map<std::uint32_t, BigInt> t_map;
+  /// The agreed group key.
+  BigInt key;
+
+  [[nodiscard]] std::uint32_t id() const { return cred.id; }
+  /// Position of this member in `ring`; throws if absent.
+  [[nodiscard]] std::size_t ring_index() const;
+  /// Position of `member_id` in `ring`; throws if absent.
+  [[nodiscard]] std::size_t ring_index_of(std::uint32_t member_id) const;
+};
+
+/// Creates a member with a DRBG derived from (seed, id).
+[[nodiscard]] MemberCtx make_member(MemberCredentials cred, std::uint64_t seed);
+
+/// Outcome of one protocol execution.
+struct RunResult {
+  bool success = false;
+  /// Communication rounds used (excluding retransmissions).
+  int rounds = 0;
+  /// Number of extra broadcast attempts caused by message loss.
+  int retransmissions = 0;
+  /// The agreed key (validated identical across members by the driver).
+  BigInt key;
+};
+
+}  // namespace idgka::gka

@@ -1,0 +1,55 @@
+#include "gka/params.h"
+
+#include "hash/hmac_drbg.h"
+
+namespace idgka::gka {
+
+ProfileSizes profile_sizes(SecurityProfile profile) {
+  switch (profile) {
+    case SecurityProfile::kPaper:
+      return ProfileSizes{1024, 160, 1024, 512, 160};
+    case SecurityProfile::kTest:
+      return ProfileSizes{256, 160, 256, 256, 120};
+    case SecurityProfile::kTiny:
+      return ProfileSizes{192, 128, 192, 192, 96};
+  }
+  return ProfileSizes{256, 160, 256, 256, 120};
+}
+
+Authority::Authority(SecurityProfile profile, std::uint64_t seed)
+    : rng_(std::make_unique<hash::HmacDrbg>(seed, "idgka-authority")) {
+  const ProfileSizes sizes = profile_sizes(profile);
+  const int mr = profile == SecurityProfile::kPaper ? 32 : 16;
+
+  params_.profile = profile;
+  params_.grp = mpint::generate_schnorr_group(*rng_, sizes.p_bits, sizes.q_bits, mr);
+  gq_pkg_ = std::make_unique<sig::GqPkg>(*rng_, sizes.gq_bits, mr);
+  params_.gq = gq_pkg_->params();
+  params_.mont_p = std::make_shared<const mpint::MontgomeryCtx>(params_.grp.p);
+  params_.mont_n = std::make_shared<const mpint::MontgomeryCtx>(params_.gq.n);
+
+  ss_group_ = std::make_unique<pairing::SsGroup>(
+      mpint::generate_supersingular_params(*rng_, sizes.ss_p_bits, sizes.ss_q_bits, mr));
+  tate_ = std::make_unique<pairing::TatePairing>(*ss_group_);
+  sok_pkg_ = std::make_unique<sig::SokPkg>(*ss_group_, *rng_);
+
+  dsa_params_ = sig::dsa_generate_params(*rng_, sizes.p_bits, sizes.q_bits, mr);
+  curve_ = &ec::secp160r1();
+  dsa_ca_ = std::make_unique<pki::CertificateAuthority>(dsa_params_, *rng_);
+  ecdsa_ca_ = std::make_unique<pki::CertificateAuthority>(*curve_, *rng_);
+}
+
+MemberCredentials Authority::enroll(std::uint32_t id) {
+  MemberCredentials cred;
+  cred.id = id;
+  cred.gq_secret = gq_pkg_->extract(id);
+  cred.sok_secret = sok_pkg_->extract(id);
+  cred.dsa_key = sig::dsa_generate_keypair(dsa_params_, *rng_);
+  cred.dsa_cert = dsa_ca_->issue(id, pki::encode_dsa_public(dsa_params_, cred.dsa_key.y), *rng_);
+  cred.ecdsa_key = sig::ecdsa_generate_keypair(*curve_, *rng_);
+  cred.ecdsa_cert =
+      ecdsa_ca_->issue(id, pki::encode_ec_public(*curve_, cred.ecdsa_key.q), *rng_);
+  return cred;
+}
+
+}  // namespace idgka::gka

@@ -1,0 +1,107 @@
+// System parameters and the trust authority (PKG + certificate authority).
+//
+// The paper's Setup: a PKG generates the GQ modulus (n = p'q', e, d) and the
+// key-agreement group (1024-bit p, 160-bit q | p-1, generator g). The same
+// authority object also provisions the baselines' credentials: SOK pairing
+// parameters and master key, DSA/ECDSA key pairs and certificates — so one
+// `Authority` can enroll a member for every protocol variant under test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ec/curve.h"
+#include "mpint/montgomery.h"
+#include "mpint/prime.h"
+#include "pairing/tate.h"
+#include "pki/certificate.h"
+#include "sig/dsa.h"
+#include "sig/ecdsa.h"
+#include "sig/gq.h"
+#include "sig/sok.h"
+
+namespace idgka::gka {
+
+using mpint::BigInt;
+
+/// Parameter size profiles.
+enum class SecurityProfile {
+  kPaper,  ///< the paper's sizes: |p| = 1024, |q| = 160, |n| = 1024
+  kTest,   ///< fast CI sizes: |p| = 256, |q| = 160, |n| = 256
+  kTiny,   ///< property-sweep sizes: |p| = 192, |q| = 128, |n| = 192
+};
+
+/// Shared public parameters for the key-agreement group and GQ signatures.
+struct SystemParams {
+  mpint::SchnorrGroup grp;  ///< (p, q, g) — BD exponentiation group
+  sig::GqParams gq;         ///< (n, e) — GQ verification parameters
+  SecurityProfile profile = SecurityProfile::kTest;
+
+  /// Cached Montgomery context for mod-p arithmetic (shared, immutable).
+  std::shared_ptr<const mpint::MontgomeryCtx> mont_p;
+  /// Cached Montgomery context for mod-n arithmetic.
+  std::shared_ptr<const mpint::MontgomeryCtx> mont_n;
+
+  [[nodiscard]] std::size_t element_bits() const { return grp.p.bit_length(); }
+  [[nodiscard]] std::size_t gq_t_bits() const { return gq.n.bit_length(); }
+  [[nodiscard]] std::size_t gq_s_bits() const { return gq.n.bit_length(); }
+};
+
+/// Per-member credential bundle covering every protocol variant.
+struct MemberCredentials {
+  std::uint32_t id = 0;
+  // Proposed scheme (GQ ID-based).
+  BigInt gq_secret;  ///< S_U = H(U)^d mod n
+  // SOK baseline.
+  ec::Point sok_secret;  ///< S_ID = s * MapToPoint(ID)
+  // Certificate-based baselines.
+  sig::DsaKeyPair dsa_key;
+  pki::Certificate dsa_cert;
+  sig::EcdsaKeyPair ecdsa_key;
+  pki::Certificate ecdsa_cert;
+};
+
+/// The trusted authority: GQ PKG + SOK PKG + DSA/ECDSA CAs.
+///
+/// Deterministic under (profile, seed); a fixed seed reproduces identical
+/// parameters and credentials, which the tests and benches rely on.
+class Authority {
+ public:
+  Authority(SecurityProfile profile, std::uint64_t seed);
+
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+  [[nodiscard]] const pairing::SsGroup& ss_group() const { return *ss_group_; }
+  [[nodiscard]] const pairing::TatePairing& tate() const { return *tate_; }
+  [[nodiscard]] const ec::Point& sok_public_key() const { return sok_pkg_->public_key(); }
+  [[nodiscard]] const sig::DsaParams& dsa_params() const { return dsa_params_; }
+  [[nodiscard]] const ec::Curve& curve() const { return *curve_; }
+  [[nodiscard]] const pki::CertificateAuthority& dsa_ca() const { return *dsa_ca_; }
+  [[nodiscard]] const pki::CertificateAuthority& ecdsa_ca() const { return *ecdsa_ca_; }
+
+  /// Enrolls a member: extracts ID-based keys and issues certificates.
+  [[nodiscard]] MemberCredentials enroll(std::uint32_t id);
+
+ private:
+  SystemParams params_;
+  std::unique_ptr<sig::GqPkg> gq_pkg_;
+  std::unique_ptr<pairing::SsGroup> ss_group_;
+  std::unique_ptr<pairing::TatePairing> tate_;
+  std::unique_ptr<sig::SokPkg> sok_pkg_;
+  sig::DsaParams dsa_params_;
+  const ec::Curve* curve_ = nullptr;
+  std::unique_ptr<pki::CertificateAuthority> dsa_ca_;
+  std::unique_ptr<pki::CertificateAuthority> ecdsa_ca_;
+  std::unique_ptr<mpint::Rng> rng_;
+};
+
+/// Size triple for a profile: (|p|, |q|, |n|) bits.
+struct ProfileSizes {
+  std::size_t p_bits;
+  std::size_t q_bits;
+  std::size_t gq_bits;
+  std::size_t ss_p_bits;
+  std::size_t ss_q_bits;
+};
+[[nodiscard]] ProfileSizes profile_sizes(SecurityProfile profile);
+
+}  // namespace idgka::gka

@@ -1,0 +1,39 @@
+// Saeednia-Safavi-Naini-style ID-based conference key protocol (the paper's
+// fifth comparison column).
+//
+// The paper uses SSN '98 only through its complexity profile: ID-based
+// (no certificates, no explicit signatures), 2 messages transmitted and
+// 2(n-1) received per member, and O(n) exponentiations per member (2n+4 in
+// Table 1). We implement a concrete BD-shaped protocol with GQ-style
+// ID-based implicit authentication that realises exactly this profile:
+//
+//   Round 1: U_i broadcasts z_i = g^{r_i} mod p.                  [1 exp]
+//   Round 2: U_i computes X_i = (z_{i+1}/z_{i-1})^{r_i},          [1 exp]
+//            c_i = H(U_i || z_i || X_i || Z),
+//            w_i = h^{rho_i} mod n,                               [1 exp]
+//            a_i = S_{U_i} * w_i^{c_i} mod n,                     [1 exp]
+//            broadcasts U_i || X_i || w_i || a_i.
+//   Verify:  for every j != i:
+//            a_j^e  ==  H(U_j) * w_j^{c_j * e}  (mod n)           [2 exps]
+//   Key:     Eq. (3) reconstruction.                              [1 exp]
+//
+// Soundness sketch: a_j = S_j * w_j^{c_j} with S_j^e = H(U_j) mod n, so the
+// check holds iff the sender knows the PKG-extracted S_j; c_j binds the
+// authenticator to (z_j, X_j, Z). Per-member exponentiations: 5 + 2(n-1) =
+// 2n + 3, one below the paper's 2n + 4 accounting — recorded as-measured
+// and compared against the paper's formula in EXPERIMENTS.md.
+#pragma once
+
+#include <span>
+
+#include "gka/exchange.h"
+#include "gka/member.h"
+
+namespace idgka::gka {
+
+/// Executes the SSN-style protocol. Uses the GQ credentials (the SSN scheme
+/// is ID-based over the same RSA-type modulus).
+[[nodiscard]] RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
+                                net::Network& network);
+
+}  // namespace idgka::gka

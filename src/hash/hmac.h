@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/sha256.h"
+
+namespace idgka::hash {
+
+/// HMAC-SHA256 of `data` under `key`.
+[[nodiscard]] Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                         std::span<const std::uint8_t> data);
+
+}  // namespace idgka::hash

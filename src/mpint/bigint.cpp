@@ -1,0 +1,552 @@
+#include "mpint/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace idgka::mpint {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr std::size_t kKaratsubaThreshold = 24;  // limbs
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) s.remove_prefix(2);
+  if (s.empty()) throw std::invalid_argument("BigInt::from_hex: empty string");
+  BigInt r;
+  r.limbs_.assign((s.size() * 4 + 63) / 64, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t i = s.size(); i-- > 0;) {
+    const int d = hex_digit(s[i]);
+    if (d < 0) throw std::invalid_argument("BigInt::from_hex: bad digit");
+    r.limbs_[bitpos / 64] |= static_cast<Limb>(d) << (bitpos % 64);
+    bitpos += 4;
+  }
+  r.normalize();
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw std::invalid_argument("BigInt::from_dec: empty string");
+  BigInt r;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt::from_dec: bad digit");
+    // r = r * 10 + digit, done limb-wise to avoid full multiplies.
+    Limb carry = static_cast<Limb>(c - '0');
+    for (auto& limb : r.limbs_) {
+      const u128 t = static_cast<u128>(limb) * 10 + carry;
+      limb = static_cast<Limb>(t);
+      carry = static_cast<Limb>(t >> 64);
+    }
+    if (carry != 0) r.limbs_.push_back(carry);
+  }
+  r.normalize();
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigInt r;
+  r.limbs_.assign((bytes.size() + 7) / 8, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    r.limbs_[bitpos / 64] |= static_cast<Limb>(bytes[i]) << (bitpos % 64);
+    bitpos += 8;
+  }
+  r.normalize();
+  return r;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  if (negative_) out.push_back('-');
+  bool started = false;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int d = static_cast<int>((limbs_[i] >> shift) & 0xF);
+      if (!started && d == 0) continue;
+      started = true;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::vector<Limb> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    // Divide magnitude by 10^19 (largest power of ten in a limb).
+    constexpr Limb kChunk = 10000000000000000000ULL;
+    Limb rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rem) << 64) | mag[i];
+      mag[i] = static_cast<Limb>(cur / kChunk);
+      rem = static_cast<Limb>(cur % kChunk);
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int i = 0; i < 19; ++i) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (mag.empty() && rem == 0) break;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(nbytes, min_len);
+  std::vector<std::uint8_t> out(len, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[len - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::size_t top = 64 - static_cast<std::size_t>(__builtin_clzll(limbs_.back()));
+  return (limbs_.size() - 1) * 64 + top;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb_idx = i / 64;
+  if (limb_idx >= limbs_.size()) return false;
+  return ((limbs_[limb_idx] >> (i % 64)) & 1U) != 0U;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+int BigInt::cmp_mag(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& o) const {
+  if (negative_ != o.negative_) {
+    return negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const int c = cmp_mag(*this, o);
+  const int signed_c = negative_ ? -c : c;
+  if (signed_c < 0) return std::strong_ordering::less;
+  if (signed_c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::vector<BigInt::Limb> BigInt::add_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<Limb> r(big.size() + 1, 0);
+  Limb carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    u128 t = static_cast<u128>(big[i]) + carry;
+    if (i < small.size()) t += small[i];
+    r[i] = static_cast<Limb>(t);
+    carry = static_cast<Limb>(t >> 64);
+  }
+  r[big.size()] = carry;
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  std::vector<Limb> r(a.size(), 0);
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Limb bi = i < b.size() ? b[i] : 0;
+    const Limb t = a[i] - bi - borrow;
+    borrow = (a[i] < bi || (a[i] == bi && borrow != 0)) ? 1 : 0;
+    r[i] = t;
+  }
+  assert(borrow == 0 && "sub_mag requires |a| >= |b|");
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_school(std::span<const Limb> a, std::span<const Limb> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> r(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const u128 t = static_cast<u128>(ai) * b[j] + r[i + j] + carry;
+      r[i + j] = static_cast<Limb>(t);
+      carry = static_cast<Limb>(t >> 64);
+    }
+    r[i + b.size()] = carry;
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_karatsuba(std::span<const Limb> a, std::span<const Limb> b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return mul_school(a, b);
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto a_lo = a.subspan(0, std::min(half, a.size()));
+  const auto a_hi = half < a.size() ? a.subspan(half) : std::span<const Limb>{};
+  const auto b_lo = b.subspan(0, std::min(half, b.size()));
+  const auto b_hi = half < b.size() ? b.subspan(half) : std::span<const Limb>{};
+
+  BigInt alo = from_limbs({a_lo.begin(), a_lo.end()});
+  BigInt ahi = from_limbs({a_hi.begin(), a_hi.end()});
+  BigInt blo = from_limbs({b_lo.begin(), b_lo.end()});
+  BigInt bhi = from_limbs({b_hi.begin(), b_hi.end()});
+
+  BigInt z0 = from_limbs(mul_karatsuba(alo.limbs_, blo.limbs_));
+  BigInt z2 = from_limbs(mul_karatsuba(ahi.limbs_, bhi.limbs_));
+  BigInt asum = alo + ahi;
+  BigInt bsum = blo + bhi;
+  BigInt z1 = from_limbs(mul_karatsuba(asum.limbs_, bsum.limbs_)) - z0 - z2;
+
+  BigInt result = (z2 << (2 * half * 64)) + (z1 << (half * 64)) + z0;
+  return result.limbs_;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  return mul_karatsuba(a, b);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  if (negative_ == o.negative_) {
+    r.limbs_ = add_mag(limbs_, o.limbs_);
+    r.negative_ = negative_;
+  } else {
+    const int c = cmp_mag(*this, o);
+    if (c == 0) return BigInt{};
+    if (c > 0) {
+      r.limbs_ = sub_mag(limbs_, o.limbs_);
+      r.negative_ = negative_;
+    } else {
+      r.limbs_ = sub_mag(o.limbs_, limbs_);
+      r.negative_ = o.negative_;
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt r;
+  r.limbs_ = mul_mag(limbs_, o.limbs_);
+  r.negative_ = (negative_ != o.negative_) && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt r;
+  r.negative_ = negative_;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  BigInt r;
+  r.negative_ = negative_;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+    r.limbs_[i] = bit_shift == 0 ? limbs_[i + limb_shift] : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+namespace {
+
+// Knuth Algorithm D on 64-bit limbs. Inputs are normalized magnitudes with
+// v.size() >= 2 and u >= v. Produces quotient and remainder magnitudes.
+void divmod_knuth(std::vector<BigInt::Limb> u, std::vector<BigInt::Limb> v,
+                  std::vector<BigInt::Limb>& q, std::vector<BigInt::Limb>& r) {
+  using Limb = BigInt::Limb;
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+
+  // D1: normalize so the divisor's top bit is set.
+  const int shift = __builtin_clzll(v.back());
+  if (shift != 0) {
+    Limb carry = 0;
+    for (auto& limb : v) {
+      const Limb next = limb >> (64 - shift);
+      limb = (limb << shift) | carry;
+      carry = next;
+    }
+    carry = 0;
+    for (auto& limb : u) {
+      const Limb next = limb >> (64 - shift);
+      limb = (limb << shift) | carry;
+      carry = next;
+    }
+    u.push_back(carry);
+  } else {
+    u.push_back(0);
+  }
+
+  q.assign(m + 1, 0);
+  const Limb v1 = v[n - 1];
+  const Limb v2 = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top three dividend limbs.
+    const u128 top = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = top / v1;
+    u128 rhat = top % v1;
+    while (qhat > ~static_cast<Limb>(0) ||
+           qhat * v2 > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat > ~static_cast<Limb>(0)) break;
+    }
+
+    // D4: multiply-and-subtract u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 prod = qhat * v[i] + carry;
+      carry = prod >> 64;
+      const Limb sub = static_cast<Limb>(prod);
+      const u128 diff = static_cast<u128>(u[j + i]) - sub - borrow;
+      u[j + i] = static_cast<Limb>(diff);
+      borrow = (diff >> 64) & 1U;
+    }
+    const u128 diff = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<Limb>(diff);
+    const bool negative = ((diff >> 64) & 1U) != 0U;
+
+    // D5/D6: add back when the estimate was one too large.
+    if (negative) {
+      --qhat;
+      Limb c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(u[j + i]) + v[i] + c;
+        u[j + i] = static_cast<Limb>(sum);
+        c = static_cast<Limb>(sum >> 64);
+      }
+      u[j + n] += c;
+    }
+    q[j] = static_cast<Limb>(qhat);
+  }
+
+  // D8: denormalize the remainder.
+  r.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] >>= shift;
+      if (i + 1 < n) r[i] |= r[i + 1] << (64 - shift);
+      else r[i] |= (u[n] << (64 - shift));
+    }
+  }
+  while (!q.empty() && q.back() == 0) q.pop_back();
+  while (!r.empty() && r.back() == 0) r.pop_back();
+}
+
+}  // namespace
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  if (b.is_zero()) throw std::domain_error("BigInt: division by zero");
+  const int c = cmp_mag(a, b);
+  if (c < 0) {
+    r = a;
+    q = BigInt{};
+    return;
+  }
+  BigInt quotient;
+  BigInt remainder;
+  if (b.limbs_.size() == 1) {
+    const Limb d = b.limbs_[0];
+    quotient.limbs_.assign(a.limbs_.size(), 0);
+    Limb rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rem) << 64) | a.limbs_[i];
+      quotient.limbs_[i] = static_cast<Limb>(cur / d);
+      rem = static_cast<Limb>(cur % d);
+    }
+    if (rem != 0) remainder.limbs_.push_back(rem);
+  } else {
+    divmod_knuth(a.limbs_, b.limbs_, quotient.limbs_, remainder.limbs_);
+  }
+  quotient.normalize();
+  remainder.normalize();
+  quotient.negative_ = (a.negative_ != b.negative_) && !quotient.limbs_.empty();
+  remainder.negative_ = a.negative_ && !remainder.limbs_.empty();
+  q = std::move(quotient);
+  r = std::move(remainder);
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q;
+  BigInt r;
+  divmod(*this, o, q, r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt q;
+  BigInt r;
+  divmod(*this, o, q, r);
+  return r;
+}
+
+BigInt BigInt::mod(const BigInt& m) const {
+  if (m.is_zero()) throw std::domain_error("BigInt::mod: zero modulus");
+  BigInt r = *this % m;
+  if (r.negative()) r += m.abs();
+  return r;
+}
+
+BigInt gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt t = x.mod(y);
+    x = std::move(y);
+    y = std::move(t);
+  }
+  return x;
+}
+
+BigInt egcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
+  // Iterative extended Euclid on signed values.
+  BigInt old_r = a, r = b;
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    BigInt q, rem;
+    BigInt::divmod(old_r, r, q, rem);
+    old_r = std::exchange(r, std::move(rem));
+    BigInt tmp_s = old_s - q * s;
+    old_s = std::exchange(s, std::move(tmp_s));
+    BigInt tmp_t = old_t - q * t;
+    old_t = std::exchange(t, std::move(tmp_t));
+  }
+  x = std::move(old_s);
+  y = std::move(old_t);
+  return old_r;
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt{0}) throw std::domain_error("mod_inverse: modulus must be positive");
+  BigInt x;
+  BigInt y;
+  const BigInt g = egcd(a.mod(m), m, x, y);
+  if (!(g.abs().is_one())) throw std::domain_error("mod_inverse: not invertible");
+  // Fix sign conventions: g may be -1 when inputs are negative.
+  if (g.negative()) x = -x;
+  return x.mod(m);
+}
+
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).mod(m);
+}
+
+int jacobi(const BigInt& a_in, const BigInt& n_in) {
+  if (n_in.is_even() || n_in.negative()) {
+    throw std::domain_error("jacobi: n must be odd and positive");
+  }
+  BigInt a = a_in.mod(n_in);
+  BigInt n = n_in;
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a >>= 1;
+      const std::uint64_t n_mod_8 = n.low_u64() & 7U;
+      if (n_mod_8 == 3 || n_mod_8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a.low_u64() & 3U) == 3 && (n.low_u64() & 3U) == 3) result = -result;
+    a = a.mod(n);
+  }
+  return n.is_one() ? result : 0;
+}
+
+bool sqrt_mod_p3(const BigInt& a, const BigInt& p, BigInt& out) {
+  if ((p.low_u64() & 3U) != 3U) {
+    throw std::domain_error("sqrt_mod_p3: requires p % 4 == 3");
+  }
+  const BigInt candidate = mod_exp(a.mod(p), (p + BigInt{1}) >> 2, p);
+  if (mod_mul(candidate, candidate, p) != a.mod(p)) return false;
+  out = candidate;
+  return true;
+}
+
+}  // namespace idgka::mpint

@@ -1,0 +1,167 @@
+#include "mpint/montgomery.h"
+
+#include <stdexcept>
+
+namespace idgka::mpint {
+
+namespace {
+
+using u128 = unsigned __int128;
+using Limb = BigInt::Limb;
+
+// -n^{-1} mod 2^64 via Newton iteration (n odd).
+Limb neg_inv64(Limb n) {
+  Limb x = n;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;
+  return ~x + 1;  // -(n^{-1})
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(BigInt modulus) : n_(std::move(modulus)) {
+  if (n_.is_even() || n_ <= BigInt{1}) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  n_limbs_ = n_.limbs();
+  k_ = n_limbs_.size();
+  n0_inv_ = neg_inv64(n_limbs_[0]);
+  rr_ = (BigInt{1} << (2 * 64 * k_)).mod(n_);
+  one_mont_ = to_mont(BigInt{1});
+}
+
+std::vector<Limb> MontgomeryCtx::mont_mul(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al.
+  std::vector<Limb> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    Limb carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 s = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<Limb>(s);
+    t[k_ + 1] = static_cast<Limb>(s >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const Limb m = t[0] * n0_inv_;
+    s = static_cast<u128>(m) * n_limbs_[0] + t[0];
+    carry = static_cast<Limb>(s >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      s = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    s = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<Limb>(s);
+    t[k_] = t[k_ + 1] + static_cast<Limb>(s >> 64);
+    t[k_ + 1] = 0;
+  }
+
+  // Conditional final subtraction: result may be in [0, 2n).
+  std::vector<Limb> r(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (r[i] != n_limbs_[i]) {
+        ge = r[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const Limb ni = n_limbs_[i];
+      const Limb before = r[i];
+      const Limb after = before - ni - borrow;
+      borrow = (before < ni || (before == ni && borrow != 0)) ? 1 : 0;
+      r[i] = after;
+    }
+  }
+  return r;
+}
+
+std::vector<Limb> MontgomeryCtx::to_mont(const BigInt& a) const {
+  std::vector<Limb> al = a.mod(n_).limbs();
+  al.resize(k_, 0);
+  std::vector<Limb> rr = rr_.limbs();
+  rr.resize(k_, 0);
+  return mont_mul(al, rr);
+}
+
+BigInt MontgomeryCtx::from_mont(const std::vector<Limb>& a) const {
+  std::vector<Limb> one(k_, 0);
+  one[0] = 1;
+  return BigInt::from_limbs(mont_mul(a, one));
+}
+
+BigInt MontgomeryCtx::mul(const BigInt& a, const BigInt& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigInt MontgomeryCtx::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.negative()) throw std::domain_error("MontgomeryCtx::pow: negative exponent");
+  if (exp.is_zero()) return BigInt{1}.mod(n_);
+
+  const std::vector<Limb> b = to_mont(base);
+
+  // Precompute b^0..b^15 in Montgomery form (fixed 4-bit window).
+  std::vector<std::vector<Limb>> table(16);
+  table[0] = one_mont_;
+  table[1] = b;
+  for (std::size_t i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  std::vector<Limb> acc = one_mont_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    std::size_t digit = 0;
+    for (std::size_t bitidx = 0; bitidx < 4; ++bitidx) {
+      if (exp.bit(w * 4 + bitidx)) digit |= 1ULL << bitidx;
+    }
+    if (digit != 0) {
+      acc = mont_mul(acc, table[digit]);
+      started = true;
+    } else if (started) {
+      // nothing to multiply
+    }
+  }
+  if (!started) return BigInt{1}.mod(n_);  // exp was zero (handled above), defensive
+  return from_mont(acc);
+}
+
+BigInt MontgomeryCtx::inv(const BigInt& a) const { return mod_inverse(a, n_); }
+
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (m.negative()) throw std::domain_error("mod_exp: negative modulus");
+  if (exp.negative()) {
+    // base^{-e} = (base^{-1})^{e}
+    return mod_exp(mod_inverse(base, m), -exp, m);
+  }
+  if (m.is_one()) return BigInt{};
+  if (m.is_odd()) {
+    return MontgomeryCtx(m).pow(base.mod(m), exp);
+  }
+  // Even modulus: plain square-and-multiply (rare path; used only in tests).
+  BigInt result{1};
+  BigInt b = base.mod(m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = mod_mul(result, result, m);
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+  }
+  return result;
+}
+
+}  // namespace idgka::mpint

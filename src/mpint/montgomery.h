@@ -1,0 +1,50 @@
+// Montgomery-form modular arithmetic for odd moduli.
+//
+// All heavy exponentiation in the repository (GQ signatures, BD key
+// agreement, DSA, SSN) goes through MontgomeryCtx::pow, a CIOS Montgomery
+// multiplier with a fixed 4-bit window. Constructing a context is O(size^2);
+// callers cache one context per long-lived modulus (see gka::SystemParams).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpint/bigint.h"
+
+namespace idgka::mpint {
+
+/// Reusable Montgomery context for a fixed odd modulus.
+class MontgomeryCtx {
+ public:
+  /// Throws std::invalid_argument unless modulus is odd and > 1.
+  explicit MontgomeryCtx(BigInt modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return n_; }
+
+  /// (a * b) mod n. Accepts any non-negative a, b < n.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// base^exp mod n, exp >= 0. Fixed 4-bit-window ladder.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  /// a^(-1) mod n; throws std::domain_error if not invertible.
+  [[nodiscard]] BigInt inv(const BigInt& a) const;
+
+ private:
+  using Limb = BigInt::Limb;
+
+  [[nodiscard]] std::vector<Limb> to_mont(const BigInt& a) const;
+  [[nodiscard]] BigInt from_mont(const std::vector<Limb>& a) const;
+  // CIOS multiply of two Montgomery-form operands (length k_ each).
+  [[nodiscard]] std::vector<Limb> mont_mul(const std::vector<Limb>& a,
+                                           const std::vector<Limb>& b) const;
+
+  BigInt n_;
+  std::vector<Limb> n_limbs_;
+  std::size_t k_ = 0;   // limb count of the modulus
+  Limb n0_inv_ = 0;     // -n^{-1} mod 2^64
+  BigInt rr_;           // R^2 mod n, R = 2^(64k)
+  std::vector<Limb> one_mont_;  // R mod n
+};
+
+}  // namespace idgka::mpint

@@ -1,0 +1,159 @@
+#include "mpint/prime.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "mpint/montgomery.h"
+
+namespace idgka::mpint {
+
+namespace {
+
+// Primes below 1000 for cheap pre-sieving of Miller-Rabin candidates.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,  59,  61,
+    67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151,
+    157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349, 353, 359,
+    367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463,
+    467, 479, 487, 491, 499, 503, 509, 521, 523, 541, 547, 557, 563, 569, 571, 577, 587, 593,
+    599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809, 811, 821, 823, 827,
+    829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919, 929, 937, 941, 947, 953,
+    967, 971, 977, 983, 991, 997};
+
+// n mod d for small d without allocating.
+std::uint64_t mod_small(const BigInt& n, std::uint64_t d) {
+  unsigned __int128 rem = 0;
+  for (std::size_t i = n.limb_count(); i-- > 0;) {
+    rem = ((rem << 64) | n.limb(i)) % d;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.negative() || n < BigInt{2}) return false;
+  for (const std::uint32_t p : kSmallPrimes) {
+    if (n == BigInt{static_cast<std::uint64_t>(p)}) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  // n is odd and > 1000 here.
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++s;
+  }
+
+  const MontgomeryCtx ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = random_range(rng, BigInt{2}, n_minus_1);
+    BigInt x = ctx.pow(a, d);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = ctx.mul(x, x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 2) throw std::invalid_argument("generate_prime: bits must be >= 2");
+  while (true) {
+    BigInt candidate = random_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigInt{1};
+    if (candidate.bit_length() != bits) continue;
+    if (is_probable_prime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+SchnorrGroup generate_schnorr_group(Rng& rng, std::size_t p_bits, std::size_t q_bits,
+                                    int mr_rounds) {
+  if (q_bits + 2 > p_bits) {
+    throw std::invalid_argument("generate_schnorr_group: p_bits must exceed q_bits");
+  }
+  SchnorrGroup grp;
+  grp.q = generate_prime(rng, q_bits, mr_rounds);
+  while (true) {
+    // p = k*q + 1 with |p| == p_bits.
+    BigInt k = random_bits(rng, p_bits - q_bits);
+    if (k.is_odd()) k += BigInt{1};  // keep p odd: even k makes kq even, +1 odd
+    BigInt p = k * grp.q + BigInt{1};
+    if (p.bit_length() != p_bits) continue;
+    if (!is_probable_prime(p, rng, mr_rounds)) continue;
+    grp.p = std::move(p);
+    // Generator of the order-q subgroup.
+    const BigInt exponent = (grp.p - BigInt{1}) / grp.q;
+    const MontgomeryCtx ctx(grp.p);
+    while (true) {
+      const BigInt h = random_range(rng, BigInt{2}, grp.p - BigInt{1});
+      BigInt g = ctx.pow(h, exponent);
+      if (!g.is_one()) {
+        grp.g = std::move(g);
+        return grp;
+      }
+    }
+  }
+}
+
+GqModulus generate_gq_modulus(Rng& rng, std::size_t modulus_bits, const BigInt& e,
+                              int mr_rounds) {
+  if (modulus_bits < 32 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("generate_gq_modulus: modulus_bits must be even and >= 32");
+  }
+  const std::size_t half = modulus_bits / 2;
+  GqModulus key;
+  key.e = e;
+  while (true) {
+    // Force the top two bits of each factor so |p'q'| == modulus_bits exactly.
+    auto gen_factor = [&] {
+      while (true) {
+        BigInt f = random_bits(rng, half);
+        if (!f.bit(half - 2)) f += BigInt{1} << (half - 2);
+        if (f.is_even()) f += BigInt{1};
+        if (f.bit_length() == half && is_probable_prime(f, rng, mr_rounds)) return f;
+      }
+    };
+    key.p_prime = gen_factor();
+    key.q_prime = gen_factor();
+    if (key.p_prime == key.q_prime) continue;
+    const BigInt phi = (key.p_prime - BigInt{1}) * (key.q_prime - BigInt{1});
+    if (!gcd(key.e, phi).is_one()) continue;
+    key.n = key.p_prime * key.q_prime;
+    if (key.n.bit_length() != modulus_bits) continue;
+    key.d = mod_inverse(key.e, phi);
+    return key;
+  }
+}
+
+SupersingularParams generate_supersingular_params(Rng& rng, std::size_t p_bits,
+                                                  std::size_t q_bits, int mr_rounds) {
+  if (q_bits + 2 > p_bits) {
+    throw std::invalid_argument("generate_supersingular_params: p_bits must exceed q_bits");
+  }
+  SupersingularParams params;
+  params.q = generate_prime(rng, q_bits, mr_rounds);
+  while (true) {
+    BigInt c = random_bits(rng, p_bits - q_bits);
+    // p = c*q - 1 must be odd => c*q even => force c even.
+    if (c.is_odd()) c += BigInt{1};
+    BigInt p = c * params.q - BigInt{1};
+    if (p.bit_length() != p_bits) continue;
+    if ((p.low_u64() & 3U) != 3U) continue;  // need p % 4 == 3
+    if (!is_probable_prime(p, rng, mr_rounds)) continue;
+    params.p = std::move(p);
+    params.cofactor = std::move(c);
+    return params;
+  }
+}
+
+}  // namespace idgka::mpint

@@ -1,0 +1,60 @@
+// Primality testing and parameter generation.
+//
+// Supplies every number-theoretic parameter the protocols need:
+//  * random primes (GQ modulus factors p', q'),
+//  * Schnorr groups p = kq + 1 with generator g of order q (the BD / DSA
+//    group of the paper: |p| = 1024, |q| = 160),
+//  * pairing-friendly supersingular primes p = cq - 1 with p % 4 == 3,
+//  * RSA-type GQ key material (n = p'q', e, d with ed == 1 mod phi(n)).
+#pragma once
+
+#include <cstdint>
+
+#include "mpint/bigint.h"
+#include "mpint/random.h"
+
+namespace idgka::mpint {
+
+/// Miller-Rabin with `rounds` random bases plus a small-prime sieve.
+/// Error probability <= 4^-rounds for odd composites.
+[[nodiscard]] bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 32);
+
+/// Random prime with exactly `bits` bits.
+[[nodiscard]] BigInt generate_prime(Rng& rng, std::size_t bits, int mr_rounds = 32);
+
+/// Schnorr group: prime q of `q_bits` bits, prime p = kq + 1 of `p_bits`
+/// bits, generator g of order q in Z_p^*.
+struct SchnorrGroup {
+  BigInt p;
+  BigInt q;
+  BigInt g;
+};
+[[nodiscard]] SchnorrGroup generate_schnorr_group(Rng& rng, std::size_t p_bits,
+                                                  std::size_t q_bits, int mr_rounds = 32);
+
+/// GQ / RSA-type key material: n = p'q' with |n| = modulus_bits, public
+/// exponent e coprime to phi(n), d = e^{-1} mod phi(n).
+struct GqModulus {
+  BigInt n;
+  BigInt e;
+  BigInt d;        // master secret (PKG only)
+  BigInt p_prime;  // factor (PKG only)
+  BigInt q_prime;  // factor (PKG only)
+};
+[[nodiscard]] GqModulus generate_gq_modulus(Rng& rng, std::size_t modulus_bits,
+                                            const BigInt& e = BigInt{65537},
+                                            int mr_rounds = 32);
+
+/// Supersingular pairing parameters: prime q (group order, `q_bits` bits) and
+/// prime p = c*q - 1 with |p| = p_bits and p % 4 == 3 (so y^2 = x^3 + x is
+/// supersingular over F_p with #E(F_p) = p + 1 divisible by q).
+struct SupersingularParams {
+  BigInt p;
+  BigInt q;
+  BigInt cofactor;  // (p + 1) / q
+};
+[[nodiscard]] SupersingularParams generate_supersingular_params(Rng& rng, std::size_t p_bits,
+                                                                std::size_t q_bits,
+                                                                int mr_rounds = 32);
+
+}  // namespace idgka::mpint

@@ -1,0 +1,87 @@
+#include "mpint/random.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace idgka::mpint {
+
+std::uint64_t Rng::next_u64() {
+  std::array<std::uint8_t, 8> buf{};
+  fill(buf);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[static_cast<std::size_t>(i)];
+  return v;
+}
+
+XoshiroRng::XoshiroRng(std::uint64_t seed) {
+  // SplitMix64 expansion of the seed, per Blackman & Vigna's reference.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9E3779B97f4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    s = z ^ (z >> 31);
+  }
+}
+
+std::uint64_t XoshiroRng::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+void XoshiroRng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+BigInt random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("random_bits: bits must be >= 1");
+  std::vector<std::uint8_t> buf((bits + 7) / 8);
+  rng.fill(buf);
+  const std::size_t excess = buf.size() * 8 - bits;
+  buf[0] &= static_cast<std::uint8_t>(0xFF >> excess);
+  buf[0] |= static_cast<std::uint8_t>(0x80 >> excess);  // force top bit
+  return BigInt::from_bytes_be(buf);
+}
+
+BigInt random_below(Rng& rng, const BigInt& bound) {
+  if (bound <= BigInt{0}) throw std::invalid_argument("random_below: bound must be > 0");
+  const std::size_t bits = bound.bit_length();
+  std::vector<std::uint8_t> buf((bits + 7) / 8);
+  const std::size_t excess = buf.size() * 8 - bits;
+  while (true) {
+    rng.fill(buf);
+    buf[0] &= static_cast<std::uint8_t>(0xFF >> excess);
+    BigInt v = BigInt::from_bytes_be(buf);
+    if (v < bound) return v;
+  }
+}
+
+BigInt random_range(Rng& rng, const BigInt& lo, const BigInt& hi) {
+  if (!(lo < hi)) throw std::invalid_argument("random_range: requires lo < hi");
+  return lo + random_below(rng, hi - lo);
+}
+
+BigInt random_unit(Rng& rng, const BigInt& n) {
+  while (true) {
+    BigInt v = random_range(rng, BigInt{1}, n);
+    if (gcd(v, n).is_one()) return v;
+  }
+}
+
+}  // namespace idgka::mpint

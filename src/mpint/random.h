@@ -1,0 +1,53 @@
+// Randomness interface used across the library.
+//
+// Crypto code never touches a concrete generator: protocols take an `Rng&`,
+// which in production is the HMAC-DRBG (hash/hmac_drbg.h) and in tests is
+// either the DRBG with a fixed seed or the fast SplitMix/xoshiro generator
+// below. Deterministic seeding is what makes whole protocol runs repeatable
+// (the simulator derives one Rng per node from a master seed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpint/bigint.h"
+
+namespace idgka::mpint {
+
+/// Abstract byte-stream randomness source.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+};
+
+/// xoshiro256** — fast, high-quality, NON-cryptographic. For tests and
+/// simulation-side randomness (topology shuffles, loss injection) only.
+class XoshiroRng final : public Rng {
+ public:
+  explicit XoshiroRng(std::uint64_t seed);
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  std::uint64_t next();
+  std::uint64_t s_[4];
+};
+
+/// Uniform integer with exactly `bits` bits (top bit forced to 1) for
+/// bits >= 1.
+[[nodiscard]] BigInt random_bits(Rng& rng, std::size_t bits);
+
+/// Uniform integer in [0, bound) via rejection sampling; bound > 0.
+[[nodiscard]] BigInt random_below(Rng& rng, const BigInt& bound);
+
+/// Uniform integer in [lo, hi); requires lo < hi.
+[[nodiscard]] BigInt random_range(Rng& rng, const BigInt& lo, const BigInt& hi);
+
+/// Uniform unit in [1, n) with gcd(x, n) == 1 (rejection).
+[[nodiscard]] BigInt random_unit(Rng& rng, const BigInt& n);
+
+}  // namespace idgka::mpint

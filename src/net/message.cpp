@@ -1,0 +1,64 @@
+#include "net/message.h"
+
+#include <algorithm>
+
+namespace idgka::net {
+
+void Payload::put_int(std::string name, mpint::BigInt value) {
+  ints_.emplace_back(std::move(name), std::move(value));
+}
+
+void Payload::put_blob(std::string name, std::vector<std::uint8_t> value) {
+  blobs_.emplace_back(std::move(name), std::move(value));
+}
+
+void Payload::put_u32(std::string name, std::uint32_t value) {
+  u32s_.emplace_back(std::move(name), value);
+}
+
+namespace {
+
+template <typename Vec>
+const auto& find_or_throw(const Vec& vec, const std::string& name, const char* kind) {
+  const auto it = std::find_if(vec.begin(), vec.end(),
+                               [&](const auto& kv) { return kv.first == name; });
+  if (it == vec.end()) {
+    throw std::out_of_range(std::string("Payload: missing ") + kind + " field '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+const mpint::BigInt& Payload::get_int(const std::string& name) const {
+  return find_or_throw(ints_, name, "int");
+}
+
+const std::vector<std::uint8_t>& Payload::get_blob(const std::string& name) const {
+  return find_or_throw(blobs_, name, "blob");
+}
+
+std::uint32_t Payload::get_u32(const std::string& name) const {
+  return find_or_throw(u32s_, name, "u32");
+}
+
+bool Payload::has_int(const std::string& name) const {
+  return std::any_of(ints_.begin(), ints_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+bool Payload::has_blob(const std::string& name) const {
+  return std::any_of(blobs_.begin(), blobs_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+std::size_t Payload::wire_bytes() const {
+  // Per field: 1 tag byte + 2 length bytes + content. u32 fields: 1 + 4.
+  std::size_t total = 0;
+  for (const auto& [name, value] : ints_) total += 3 + value.to_bytes_be().size();
+  for (const auto& [name, value] : blobs_) total += 3 + value.size();
+  total += u32s_.size() * 5;
+  return total;
+}
+
+}  // namespace idgka::net

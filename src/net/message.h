@@ -1,0 +1,59 @@
+// Wire messages for the simulated broadcast wireless network.
+//
+// Protocol payloads are small typed dictionaries (named big integers and
+// byte blobs) so that every protocol message is self-describing and its
+// serialized size is computable. The paper accounts message cost in bits
+// (Table 3); senders may additionally declare a paper-accounting bit size
+// (e.g. a group element is |p| bits regardless of leading zero bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpint/bigint.h"
+
+namespace idgka::net {
+
+/// Typed key-value payload.
+class Payload {
+ public:
+  void put_int(std::string name, mpint::BigInt value);
+  void put_blob(std::string name, std::vector<std::uint8_t> value);
+  void put_u32(std::string name, std::uint32_t value);
+
+  /// Throws std::out_of_range when the field is missing.
+  [[nodiscard]] const mpint::BigInt& get_int(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::uint8_t>& get_blob(const std::string& name) const;
+  [[nodiscard]] std::uint32_t get_u32(const std::string& name) const;
+  [[nodiscard]] bool has_int(const std::string& name) const;
+  [[nodiscard]] bool has_blob(const std::string& name) const;
+
+  /// Serialized size in bytes (tag + length + content per field).
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+ private:
+  std::vector<std::pair<std::string, mpint::BigInt>> ints_;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> blobs_;
+  std::vector<std::pair<std::string, std::uint32_t>> u32s_;
+};
+
+/// A protocol message in flight.
+struct Message {
+  std::uint32_t sender = 0;
+  /// Empty => broadcast to the sender's group.
+  std::optional<std::uint32_t> recipient;
+  /// Protocol-defined label ("round1", "join-r2", ...).
+  std::string type;
+  Payload payload;
+  /// Bit size used for energy accounting. Zero => use serialized size.
+  std::size_t declared_bits = 0;
+
+  [[nodiscard]] std::size_t accounted_bits() const {
+    return declared_bits != 0 ? declared_bits : payload.wire_bytes() * 8;
+  }
+};
+
+}  // namespace idgka::net

@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace idgka::net {
+
+Network::Network(double loss_rate, std::uint64_t seed)
+    : loss_rate_(loss_rate), rng_(seed ^ 0x6e6574776f726bULL) {
+  if (loss_rate < 0.0 || loss_rate >= 1.0) {
+    throw std::invalid_argument("Network: loss_rate must be in [0, 1)");
+  }
+}
+
+void Network::add_node(std::uint32_t id) {
+  inboxes_.try_emplace(id);
+  stats_.try_emplace(id);
+}
+
+bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
+
+void Network::deliver(const Message& msg, std::uint32_t to) {
+  if (loss_rate_ > 0.0) {
+    // Uniform draw in [0, 1) from 53 random bits.
+    const double u = static_cast<double>(rng_.next_u64() >> 11) * 0x1.0p-53;
+    if (u < loss_rate_) {
+      ++dropped_;
+      return;
+    }
+  }
+  auto it = inboxes_.find(to);
+  if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown recipient");
+  auto& st = stats_[to];
+  ++st.rx_messages;
+  st.rx_bits += msg.accounted_bits();
+  if (tamper_) {
+    Message copy = msg;
+    if (!tamper_(copy, to)) return;  // suppressed by the adversary
+    it->second.push_back(std::move(copy));
+    return;
+  }
+  it->second.push_back(msg);
+}
+
+void Network::broadcast(const Message& msg, const std::vector<std::uint32_t>& group) {
+  if (!has_node(msg.sender)) throw std::invalid_argument("Network: unknown sender");
+  if (sniffer_) sniffer_(msg);
+  auto& st = stats_[msg.sender];
+  ++st.tx_messages;
+  st.tx_bits += msg.accounted_bits();
+  for (const std::uint32_t to : group) {
+    if (to == msg.sender) continue;
+    deliver(msg, to);
+  }
+}
+
+void Network::unicast(Message msg) {
+  if (!has_node(msg.sender)) throw std::invalid_argument("Network: unknown sender");
+  if (!msg.recipient.has_value()) {
+    throw std::invalid_argument("Network: unicast requires a recipient");
+  }
+  if (sniffer_) sniffer_(msg);
+  auto& st = stats_[msg.sender];
+  ++st.tx_messages;
+  st.tx_bits += msg.accounted_bits();
+  deliver(msg, *msg.recipient);
+}
+
+std::vector<Message> Network::drain(std::uint32_t node) {
+  auto it = inboxes_.find(node);
+  if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown node");
+  std::vector<Message> out;
+  out.swap(it->second);
+  return out;
+}
+
+std::size_t Network::pending(std::uint32_t node) const {
+  const auto it = inboxes_.find(node);
+  return it == inboxes_.end() ? 0 : it->second.size();
+}
+
+const TrafficStats& Network::stats(std::uint32_t node) const {
+  const auto it = stats_.find(node);
+  if (it == stats_.end()) throw std::invalid_argument("Network: unknown node");
+  return it->second;
+}
+
+TrafficStats Network::total_stats() const {
+  TrafficStats total;
+  for (const auto& [id, st] : stats_) {
+    total.tx_messages += st.tx_messages;
+    total.rx_messages += st.rx_messages;
+    total.tx_bits += st.tx_bits;
+    total.rx_bits += st.rx_bits;
+  }
+  return total;
+}
+
+void Network::reset_stats() {
+  for (auto& [id, st] : stats_) st = TrafficStats{};
+  dropped_ = 0;
+}
+
+}  // namespace idgka::net

@@ -1,0 +1,29 @@
+// Minimal fork-join parallelism for per-node protocol work.
+//
+// Protocol rounds are barriers: between them every member computes only on
+// its own state plus its received (immutable) messages — the MPI-style
+// share-nothing decomposition. parallel_for_each runs one index per task
+// across a bounded thread pool and rethrows the first worker exception.
+//
+// Determinism: the protocols draw randomness from per-member DRBGs, so the
+// schedule cannot change any result; tests pass with any thread count
+// (including IDGKA_THREADS=1).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace idgka::net {
+
+/// Number of worker threads used by parallel_for_each (reads the
+/// IDGKA_THREADS environment variable once; defaults to the hardware
+/// concurrency, capped at 16).
+std::size_t worker_count();
+
+/// Invokes fn(i) for i in [0, count), distributing across workers when
+/// count > 1 and workers > 1. Exceptions from workers are rethrown in the
+/// caller (first one wins).
+void parallel_for_each(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace idgka::net

@@ -1,0 +1,44 @@
+// The supersingular curve E: y^2 = x^3 + x over F_p, p % 4 == 3.
+//
+// #E(F_p) = p + 1; parameters are generated with a prime q | p + 1
+// (mpint::generate_supersingular_params), giving an order-q subgroup G1 on
+// which the SOK-family ID-based signature operates. The distortion map
+// phi(x, y) = (-x, i y) maps G1 into a linearly independent group over
+// F_p^2, making the modified Tate pairing e(P, phi(Q)) non-degenerate on
+// G1 x G1.
+#pragma once
+
+#include <memory>
+
+#include "ec/curve.h"
+#include "mpint/prime.h"
+#include "pairing/fp2.h"
+
+namespace idgka::pairing {
+
+/// Pairing group: curve + subgroup generator + field contexts.
+class SsGroup {
+ public:
+  /// Builds the group from generated parameters; derives a generator of the
+  /// order-q subgroup deterministically from the parameters.
+  explicit SsGroup(mpint::SupersingularParams params);
+
+  [[nodiscard]] const mpint::SupersingularParams& params() const { return params_; }
+  [[nodiscard]] const ec::Curve& curve() const { return *curve_; }
+  [[nodiscard]] const ec::Point& generator() const { return curve_->generator(); }
+  [[nodiscard]] const BigInt& q() const { return params_.q; }
+  [[nodiscard]] const BigInt& p() const { return params_.p; }
+  [[nodiscard]] const Fp2Ctx& fp2() const { return fp2_; }
+
+  /// Hashes arbitrary bytes onto the order-q subgroup (MapToPoint).
+  /// Never returns the point at infinity.
+  [[nodiscard]] ec::Point map_to_point(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] ec::Point map_to_point(std::string_view label) const;
+
+ private:
+  mpint::SupersingularParams params_;
+  Fp2Ctx fp2_;
+  std::unique_ptr<ec::Curve> curve_;
+};
+
+}  // namespace idgka::pairing

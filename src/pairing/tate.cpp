@@ -1,0 +1,103 @@
+#include "pairing/tate.h"
+
+namespace idgka::pairing {
+
+namespace {
+
+using mpint::BigInt;
+using mpint::mod_inverse;
+using mpint::mod_mul;
+
+// Affine working point over F_p.
+struct AffPt {
+  BigInt x;
+  BigInt y;
+  bool infinity = false;
+};
+
+}  // namespace
+
+TatePairing::TatePairing(const SsGroup& group) : group_(group) {
+  const BigInt& p = group_.p();
+  final_exp_ = (p * p - BigInt{1}) / group_.q();
+}
+
+Fp2 TatePairing::pair(const ec::Point& p_pt, const ec::Point& q_pt) const {
+  const Fp2Ctx& f2 = group_.fp2();
+  if (p_pt.infinity || q_pt.infinity) return f2.one();
+
+  const BigInt& p = group_.p();
+  const BigInt& q = group_.q();
+
+  // phi(Q) = (-xQ, i*yQ): evaluate lines at this point.
+  const BigInt& yq = q_pt.y;
+
+  auto fmul = [&](const BigInt& a, const BigInt& b) { return mod_mul(a, b, p); };
+  auto fsub = [&](const BigInt& a, const BigInt& b) { return (a - b).mod(p); };
+  auto fadd = [&](const BigInt& a, const BigInt& b) {
+    BigInt r = a + b;
+    if (r >= p) r -= p;
+    return r;
+  };
+
+  // Line through T with slope lambda evaluated at phi(Q) = (-xQ, i yQ):
+  //   l = i yQ - yT - lambda*(-xQ - xT) = (lambda*(xQ + xT) - yT) + yQ * i.
+  Fp2 f = f2.one();
+  AffPt t{p_pt.x, p_pt.y, false};
+
+  const std::size_t bits = q.bit_length();
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    // --- Doubling step: f = f^2 * l_{T,T}(phiQ); T = 2T.
+    f = f2.sqr(f);
+    if (!t.infinity) {
+      if (t.y.is_zero()) {
+        // Tangent is vertical: value in F_p, killed by final exponentiation.
+        t.infinity = true;
+      } else {
+        // lambda = (3 xT^2 + 1) / (2 yT)   [a = 1 for y^2 = x^3 + x]
+        const BigInt num = fadd(fmul(BigInt{3}, fmul(t.x, t.x)), BigInt{1});
+        const BigInt lambda = fmul(num, mod_inverse(fadd(t.y, t.y), p));
+        // l(phiQ) = i yQ - yT + lambda (xQ + xT)
+        const BigInt re = fsub(fmul(lambda, fadd(q_pt.x, t.x)), t.y);
+        f = f2.mul(f, Fp2{re, yq});
+        // T = 2T
+        const BigInt x3 = fsub(fmul(lambda, lambda), fadd(t.x, t.x));
+        const BigInt y3 = fsub(fmul(lambda, fsub(t.x, x3)), t.y);
+        t = AffPt{x3, y3, false};
+      }
+    }
+    // --- Addition step when exponent bit set: f = f * l_{T,P}(phiQ); T += P.
+    if (q.bit(i)) {
+      if (!t.infinity) {
+        if (t.x == p_pt.x && t.y != p_pt.y) {
+          // Chord is vertical: F_p value, killed by final exponentiation.
+          t.infinity = true;
+        } else if (t.x == p_pt.x) {
+          // T == P: tangent line (same as doubling slope).
+          const BigInt num = fadd(fmul(BigInt{3}, fmul(t.x, t.x)), BigInt{1});
+          const BigInt lambda = fmul(num, mod_inverse(fadd(t.y, t.y), p));
+          const BigInt re = fsub(fmul(lambda, fadd(q_pt.x, t.x)), t.y);
+          f = f2.mul(f, Fp2{re, yq});
+          const BigInt x3 = fsub(fmul(lambda, lambda), fadd(t.x, t.x));
+          const BigInt y3 = fsub(fmul(lambda, fsub(t.x, x3)), t.y);
+          t = AffPt{x3, y3, false};
+        } else {
+          const BigInt lambda = fmul(fsub(p_pt.y, t.y), mod_inverse(fsub(p_pt.x, t.x), p));
+          const BigInt re = fsub(fmul(lambda, fadd(q_pt.x, t.x)), t.y);
+          f = f2.mul(f, Fp2{re, yq});
+          const BigInt x3 = fsub(fsub(fmul(lambda, lambda), t.x), p_pt.x);
+          const BigInt y3 = fsub(fmul(lambda, fsub(t.x, x3)), t.y);
+          t = AffPt{x3, y3, false};
+        }
+      } else {
+        // T was infinity: T += P just restarts at P; line l_{O,P} is the
+        // vertical through P (F_p value) — skipped.
+        t = AffPt{p_pt.x, p_pt.y, false};
+      }
+    }
+  }
+
+  return f2.pow(f, final_exp_);
+}
+
+}  // namespace idgka::pairing

@@ -1,0 +1,38 @@
+// Modified Tate pairing on the supersingular curve via Miller's algorithm.
+//
+// e(P, Q) = f_{q,P}(phi(Q))^((p^2-1)/q), where phi(x, y) = (-x, i y) is the
+// distortion map. Both arguments live in the order-q subgroup G1 of
+// E(F_p): y^2 = x^3 + x. Denominator elimination applies: vertical-line
+// values lie in F_p and are annihilated by the final exponentiation, so the
+// Miller loop only accumulates the tangent/secant line values.
+#pragma once
+
+#include "ec/curve.h"
+#include "pairing/ss_curve.h"
+
+namespace idgka::pairing {
+
+/// Tate pairing engine bound to an SsGroup.
+class TatePairing {
+ public:
+  explicit TatePairing(const SsGroup& group);
+
+  /// e(P, Q) for P, Q in the order-q subgroup. Identity element when either
+  /// argument is the point at infinity.
+  [[nodiscard]] Fp2 pair(const ec::Point& p_pt, const ec::Point& q_pt) const;
+
+  /// Value group element equality (pairing values are already reduced).
+  [[nodiscard]] const Fp2Ctx& fp2() const { return group_.fp2(); }
+  /// The underlying pairing group.
+  [[nodiscard]] const SsGroup& group() const { return group_; }
+
+ private:
+  // Evaluates the line through (tangent at T, or chord T->P) at phi(Q) and
+  // multiplies it into f.
+  struct MillerState;
+
+  const SsGroup& group_;
+  mpint::BigInt final_exp_;  // (p^2 - 1) / q
+};
+
+}  // namespace idgka::pairing

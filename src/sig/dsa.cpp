@@ -1,0 +1,63 @@
+#include "sig/dsa.h"
+
+#include "hash/sha256.h"
+#include "mpint/montgomery.h"
+
+namespace idgka::sig {
+
+namespace {
+
+// SHA-256(message) truncated to the bit length of q, per FIPS 186-4 §4.2.
+BigInt message_digest(const BigInt& q, std::span<const std::uint8_t> message) {
+  const auto digest = hash::Sha256::digest(message);
+  BigInt z = BigInt::from_bytes_be(digest);
+  const std::size_t qbits = q.bit_length();
+  if (z.bit_length() > qbits) z >>= (z.bit_length() - qbits);
+  return z;
+}
+
+}  // namespace
+
+DsaParams dsa_generate_params(mpint::Rng& rng, std::size_t p_bits, std::size_t q_bits,
+                              int mr_rounds) {
+  const mpint::SchnorrGroup grp = mpint::generate_schnorr_group(rng, p_bits, q_bits, mr_rounds);
+  return DsaParams{grp.p, grp.q, grp.g};
+}
+
+DsaKeyPair dsa_generate_keypair(const DsaParams& params, mpint::Rng& rng) {
+  DsaKeyPair kp;
+  kp.x = mpint::random_range(rng, BigInt{1}, params.q);
+  kp.y = mpint::mod_exp(params.g, kp.x, params.p);
+  return kp;
+}
+
+DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
+                      std::span<const std::uint8_t> message, mpint::Rng& rng) {
+  const BigInt z = message_digest(params.q, message);
+  while (true) {
+    const BigInt k = mpint::random_range(rng, BigInt{1}, params.q);
+    const BigInt r = mpint::mod_exp(params.g, k, params.p).mod(params.q);
+    if (r.is_zero()) continue;
+    const BigInt k_inv = mpint::mod_inverse(k, params.q);
+    const BigInt s = mpint::mod_mul(k_inv, (z + key.x * r).mod(params.q), params.q);
+    if (s.is_zero()) continue;
+    return DsaSignature{r, s};
+  }
+}
+
+bool dsa_verify(const DsaParams& params, const BigInt& y,
+                std::span<const std::uint8_t> message, const DsaSignature& sig) {
+  if (sig.r <= BigInt{} || sig.r >= params.q) return false;
+  if (sig.s <= BigInt{} || sig.s >= params.q) return false;
+  const BigInt z = message_digest(params.q, message);
+  const BigInt w = mpint::mod_inverse(sig.s, params.q);
+  const BigInt u1 = mpint::mod_mul(z, w, params.q);
+  const BigInt u2 = mpint::mod_mul(sig.r, w, params.q);
+  const mpint::MontgomeryCtx ctx(params.p);
+  const BigInt v = ctx.mul(ctx.pow(params.g, u1), ctx.pow(y, u2)).mod(params.q);
+  return v == sig.r;
+}
+
+std::size_t dsa_signature_bits(const DsaParams& params) { return 2 * params.q.bit_length(); }
+
+}  // namespace idgka::sig

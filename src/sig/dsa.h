@@ -1,0 +1,51 @@
+// DSA (FIPS 186) over a Schnorr group — the paper's "BD with 1024-bit DSA"
+// certificate-based baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpint/bigint.h"
+#include "mpint/prime.h"
+#include "mpint/random.h"
+
+namespace idgka::sig {
+
+using mpint::BigInt;
+
+/// Domain parameters (p, q, g): |p| = 1024, |q| = 160 in the paper profile.
+struct DsaParams {
+  BigInt p;
+  BigInt q;
+  BigInt g;
+};
+
+struct DsaKeyPair {
+  BigInt x;  ///< private, in [1, q)
+  BigInt y;  ///< public, g^x mod p
+};
+
+struct DsaSignature {
+  BigInt r;
+  BigInt s;
+};
+
+/// Generates a fresh Schnorr group of the given sizes.
+[[nodiscard]] DsaParams dsa_generate_params(mpint::Rng& rng, std::size_t p_bits,
+                                            std::size_t q_bits, int mr_rounds = 32);
+
+/// Generates a key pair under `params`.
+[[nodiscard]] DsaKeyPair dsa_generate_keypair(const DsaParams& params, mpint::Rng& rng);
+
+/// Signs SHA-256(message) truncated to |q| bits.
+[[nodiscard]] DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
+                                    std::span<const std::uint8_t> message, mpint::Rng& rng);
+
+/// Verifies a signature against public key `y`.
+[[nodiscard]] bool dsa_verify(const DsaParams& params, const BigInt& y,
+                              std::span<const std::uint8_t> message, const DsaSignature& sig);
+
+/// Wire size: r and s are |q| bits each (paper: 2 x 160 bits).
+[[nodiscard]] std::size_t dsa_signature_bits(const DsaParams& params);
+
+}  // namespace idgka::sig

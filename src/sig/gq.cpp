@@ -1,0 +1,117 @@
+#include "sig/gq.h"
+
+#include <stdexcept>
+
+#include "hash/sha256.h"
+
+namespace idgka::sig {
+
+BigInt gq_hash_id(const GqParams& params, std::uint32_t id) {
+  // Expand SHA-256("idgka-gq-id" || id || ctr) until the value is a unit
+  // mod n (overwhelmingly the first candidate).
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    hash::Sha256 h;
+    h.update(std::string_view{"idgka-gq-id|"});
+    std::array<std::uint8_t, 8> buf{};
+    for (int i = 0; i < 4; ++i) buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(id >> (24 - i * 8));
+    for (int i = 0; i < 4; ++i) buf[static_cast<std::size_t>(4 + i)] = static_cast<std::uint8_t>(ctr >> (24 - i * 8));
+    h.update(buf);
+    std::vector<std::uint8_t> material;
+    auto digest = h.finalize();
+    while (material.size() * 8 < params.n.bit_length() + 64) {
+      material.insert(material.end(), digest.begin(), digest.end());
+      digest = hash::Sha256::digest(digest);
+    }
+    BigInt v = BigInt::from_bytes_be(material).mod(params.n);
+    if (!v.is_zero() && mpint::gcd(v, params.n).is_one()) return v;
+  }
+}
+
+BigInt gq_challenge(std::span<const std::uint8_t> first, std::span<const std::uint8_t> second) {
+  hash::Sha256 h;
+  h.update(std::string_view{"idgka-gq-chal|"});
+  std::array<std::uint8_t, 4> len_be{};
+  const std::uint32_t len = static_cast<std::uint32_t>(first.size());
+  for (int i = 0; i < 4; ++i) len_be[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (24 - i * 8));
+  h.update(len_be);
+  h.update(first);
+  h.update(second);
+  const auto digest = h.finalize();
+  return BigInt::from_bytes_be(digest);
+}
+
+GqPkg::GqPkg(mpint::Rng& rng, std::size_t modulus_bits, int mr_rounds)
+    : GqPkg(mpint::generate_gq_modulus(rng, modulus_bits, BigInt{65537}, mr_rounds)) {}
+
+GqPkg::GqPkg(mpint::GqModulus modulus)
+    : key_(std::move(modulus)), params_{key_.n, key_.e}, ctx_(key_.n) {}
+
+BigInt GqPkg::extract(std::uint32_t id) const {
+  return ctx_.pow(gq_hash_id(params_, id), key_.d);
+}
+
+GqSigner::GqSigner(GqParams params, std::uint32_t id, BigInt secret_key)
+    : params_(std::move(params)), id_(id), secret_(std::move(secret_key)), ctx_(params_.n) {}
+
+GqSigner::Commitment GqSigner::commit(mpint::Rng& rng) const {
+  Commitment c;
+  c.tau = mpint::random_unit(rng, params_.n);
+  c.t = ctx_.pow(c.tau, params_.e);
+  return c;
+}
+
+BigInt GqSigner::respond(const Commitment& commitment, const BigInt& c) const {
+  return ctx_.mul(commitment.tau, ctx_.pow(secret_, c));
+}
+
+GqSignature GqSigner::sign(std::span<const std::uint8_t> message, mpint::Rng& rng) const {
+  const Commitment commitment = commit(rng);
+  const BigInt c = gq_challenge(commitment.t.to_bytes_be(), message);
+  return GqSignature{respond(commitment, c), c};
+}
+
+bool gq_verify(const GqParams& params, std::uint32_t id,
+               std::span<const std::uint8_t> message, const GqSignature& sig) {
+  if (sig.s.is_zero() || sig.s >= params.n || sig.s.negative()) return false;
+  const mpint::MontgomeryCtx ctx(params.n);
+  // t' = s^e * H(ID)^{-c} mod n
+  const BigInt hid = gq_hash_id(params, id);
+  BigInt t_prime;
+  try {
+    t_prime = ctx.mul(ctx.pow(sig.s, params.e),
+                      ctx.pow(mpint::mod_inverse(hid, params.n), sig.c));
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  return gq_challenge(t_prime.to_bytes_be(), message) == sig.c;
+}
+
+bool gq_batch_verify(const GqParams& params, std::span<const std::uint32_t> ids,
+                     std::span<const BigInt> s_values, const BigInt& c,
+                     std::span<const std::uint8_t> z_bytes) {
+  if (ids.size() != s_values.size() || ids.empty()) return false;
+  const mpint::MontgomeryCtx ctx(params.n);
+  BigInt s_prod{1};
+  BigInt h_prod{1};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (s_values[i].is_zero() || s_values[i].negative() || s_values[i] >= params.n) {
+      return false;
+    }
+    s_prod = ctx.mul(s_prod, s_values[i]);
+    h_prod = ctx.mul(h_prod, gq_hash_id(params, ids[i]));
+  }
+  BigInt t_prime;
+  try {
+    t_prime = ctx.mul(ctx.pow(s_prod, params.e),
+                      ctx.pow(mpint::mod_inverse(h_prod, params.n), c));
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  return gq_challenge(t_prime.to_bytes_be(), z_bytes) == c;
+}
+
+std::size_t gq_signature_bits(const GqParams& params) {
+  return params.n.bit_length() + 160;
+}
+
+}  // namespace idgka::sig

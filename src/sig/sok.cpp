@@ -1,0 +1,70 @@
+#include "sig/sok.h"
+
+#include "hash/sha256.h"
+
+namespace idgka::sig {
+
+namespace {
+
+// h = H(S1 || M) reduced into [1, q).
+BigInt signature_challenge(const BigInt& q, const ec::Point& s1,
+                           std::span<const std::uint8_t> message) {
+  hash::Sha256 h;
+  h.update(std::string_view{"idgka-sok-chal|"});
+  const auto xb = s1.x.to_bytes_be();
+  const auto yb = s1.y.to_bytes_be();
+  std::array<std::uint8_t, 2> xlen{static_cast<std::uint8_t>(xb.size() >> 8),
+                                   static_cast<std::uint8_t>(xb.size())};
+  h.update(xlen);
+  h.update(xb);
+  h.update(yb);
+  h.update(message);
+  BigInt v = BigInt::from_bytes_be(h.finalize()).mod(q);
+  if (v.is_zero()) v = BigInt{1};
+  return v;
+}
+
+}  // namespace
+
+SokPkg::SokPkg(const pairing::SsGroup& group, mpint::Rng& rng)
+    : group_(group),
+      master_(mpint::random_range(rng, BigInt{1}, group.q())),
+      p_pub_(group.curve().mul(master_, group.generator())) {}
+
+ec::Point SokPkg::extract(std::uint32_t id) const {
+  return group_.curve().mul(master_, sok_id_point(group_, id));
+}
+
+ec::Point sok_id_point(const pairing::SsGroup& group, std::uint32_t id) {
+  std::array<std::uint8_t, 4> id_be{};
+  for (int i = 0; i < 4; ++i) id_be[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(id >> (24 - i * 8));
+  return group.map_to_point(id_be);
+}
+
+SokSignature sok_sign(const pairing::SsGroup& group, std::uint32_t id,
+                      const ec::Point& secret_key, std::span<const std::uint8_t> message,
+                      mpint::Rng& rng) {
+  const ec::Point q_id = sok_id_point(group, id);
+  const BigInt r = mpint::random_range(rng, BigInt{1}, group.q());
+  SokSignature sig;
+  sig.s1 = group.curve().mul(r, q_id);
+  const BigInt h = signature_challenge(group.q(), sig.s1, message);
+  sig.s2 = group.curve().mul((r + h).mod(group.q()), secret_key);
+  return sig;
+}
+
+bool sok_verify(const pairing::TatePairing& tate, const ec::Point& p_pub, std::uint32_t id,
+                std::span<const std::uint8_t> message, const SokSignature& sig) {
+  const pairing::SsGroup& group = tate.group();
+  const ec::Curve& curve = group.curve();
+  if (sig.s1.infinity || sig.s2.infinity) return false;
+  if (!curve.is_on_curve(sig.s1) || !curve.is_on_curve(sig.s2)) return false;
+  const ec::Point q_id = sok_id_point(group, id);
+  const BigInt h = signature_challenge(group.q(), sig.s1, message);
+  // e(P, S2) == e(Ppub, S1 + h*Q_ID)
+  const pairing::Fp2 lhs = tate.pair(group.generator(), sig.s2);
+  const pairing::Fp2 rhs = tate.pair(p_pub, curve.add(sig.s1, curve.mul(h, q_id)));
+  return lhs == rhs;
+}
+
+}  // namespace idgka::sig

@@ -1,0 +1,34 @@
+// AES-128 block cipher (FIPS 197), from scratch.
+//
+// The dynamic membership protocols (Section 7 of the paper) distribute
+// re-keying material encrypted under the current group key with a symmetric
+// cipher E_K(.); this is that cipher. Table-based implementation — the
+// simulator threat model does not include cache-timing side channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace idgka::symc {
+
+/// AES-128 with a fixed expanded key schedule.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Expands the 16-byte key.
+  explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(Block& block) const;
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(Block& block) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace idgka::symc

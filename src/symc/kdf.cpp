@@ -1,0 +1,39 @@
+#include "symc/kdf.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "hash/sha256.h"
+
+namespace idgka::symc {
+
+std::array<std::uint8_t, Aes128::kKeySize> derive_key(const mpint::BigInt& group_key,
+                                                      std::string_view label) {
+  hash::Sha256 h;
+  h.update(label);
+  h.update(std::string_view{"|key|"});
+  const auto bytes = group_key.to_bytes_be();
+  h.update(bytes);
+  const auto digest = h.finalize();
+  std::array<std::uint8_t, Aes128::kKeySize> key{};
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+Aes128::Block derive_iv(const mpint::BigInt& group_key, std::uint32_t sender,
+                        std::uint64_t sequence) {
+  hash::Sha256 h;
+  h.update(std::string_view{"idgka-v1|iv|"});
+  std::array<std::uint8_t, 12> ctx{};
+  for (int i = 0; i < 4; ++i) ctx[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sender >> (24 - i * 8));
+  for (int i = 0; i < 8; ++i) ctx[static_cast<std::size_t>(4 + i)] = static_cast<std::uint8_t>(sequence >> (56 - i * 8));
+  h.update(ctx);
+  const auto bytes = group_key.to_bytes_be();
+  h.update(bytes);
+  const auto digest = h.finalize();
+  Aes128::Block iv{};
+  std::copy_n(digest.begin(), iv.size(), iv.begin());
+  return iv;
+}
+
+}  // namespace idgka::symc

@@ -1,0 +1,25 @@
+// Key derivation from group keys.
+//
+// The GKA protocols agree on a group element K in Z_p^*; the dynamic
+// protocols and applications need a 128-bit AES key. We derive it as
+// SHA-256(label || K_bytes) truncated, an HKDF-extract-style step.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mpint/bigint.h"
+#include "symc/aes.h"
+
+namespace idgka::symc {
+
+/// Derives an AES-128 key from a group element with domain separation.
+[[nodiscard]] std::array<std::uint8_t, Aes128::kKeySize> derive_key(
+    const mpint::BigInt& group_key, std::string_view label = "idgka-v1");
+
+/// Derives a deterministic CTR/CBC IV from context (sender id, sequence).
+[[nodiscard]] Aes128::Block derive_iv(const mpint::BigInt& group_key, std::uint32_t sender,
+                                      std::uint64_t sequence);
+
+}  // namespace idgka::symc

@@ -1,0 +1,54 @@
+#include "symc/sealed_box.h"
+
+#include "symc/kdf.h"
+#include "symc/modes.h"
+
+namespace idgka::symc {
+
+namespace {
+
+void put_u32_be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void put_u16_be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+SealedBox::SealedBox(const mpint::BigInt& group_key)
+    : group_key_(group_key), cipher_(derive_key(group_key)) {}
+
+std::vector<std::uint8_t> SealedBox::seal(const mpint::BigInt& payload, std::uint32_t sender_id,
+                                          std::uint64_t sequence) const {
+  // plaintext = len(payload):u16 || payload || sender_id:u32
+  std::vector<std::uint8_t> pt;
+  const auto payload_bytes = payload.to_bytes_be();
+  put_u16_be(pt, static_cast<std::uint16_t>(payload_bytes.size()));
+  pt.insert(pt.end(), payload_bytes.begin(), payload_bytes.end());
+  put_u32_be(pt, sender_id);
+  return cbc_encrypt(cipher_, derive_iv(group_key_, sender_id, sequence), pt);
+}
+
+std::optional<mpint::BigInt> SealedBox::open(std::span<const std::uint8_t> box,
+                                             std::uint32_t expected_sender,
+                                             std::uint64_t sequence) const {
+  std::vector<std::uint8_t> pt;
+  try {
+    pt = cbc_decrypt(cipher_, derive_iv(group_key_, expected_sender, sequence), box);
+  } catch (const PaddingError&) {
+    return std::nullopt;
+  }
+  if (pt.size() < 6) return std::nullopt;
+  const std::size_t payload_len = (static_cast<std::size_t>(pt[0]) << 8) | pt[1];
+  if (pt.size() != 2 + payload_len + 4) return std::nullopt;
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < 4; ++i) id = (id << 8) | pt[2 + payload_len + i];
+  if (id != expected_sender) return std::nullopt;
+  return mpint::BigInt::from_bytes_be(
+      std::span<const std::uint8_t>(pt.data() + 2, payload_len));
+}
+
+}  // namespace idgka::symc

@@ -1,0 +1,43 @@
+// The paper's E_K(m || ID) construction.
+//
+// Every dynamic protocol distributes key material as EK(K* || U_i): the
+// recipient decrypts and checks that the embedded identity matches the
+// expected sender, which is the paper's (lightweight) validity check. We
+// reproduce exactly that wire format: AES-128-CBC over (payload || id),
+// with open() verifying the trailing identity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpint/bigint.h"
+#include "symc/aes.h"
+
+namespace idgka::symc {
+
+/// Identity-checked symmetric encryption under a group-element key.
+class SealedBox {
+ public:
+  /// Binds the box to a group key (any BigInt; an AES key is derived).
+  explicit SealedBox(const mpint::BigInt& group_key);
+
+  /// E_K(payload || sender_id). `sequence` diversifies the IV.
+  [[nodiscard]] std::vector<std::uint8_t> seal(const mpint::BigInt& payload,
+                                               std::uint32_t sender_id,
+                                               std::uint64_t sequence = 0) const;
+
+  /// Decrypts and verifies the embedded identity equals `expected_sender`.
+  /// Returns std::nullopt when decryption fails or the identity mismatches
+  /// (the paper's "check if the identity is decrypted correctly").
+  [[nodiscard]] std::optional<mpint::BigInt> open(std::span<const std::uint8_t> box,
+                                                  std::uint32_t expected_sender,
+                                                  std::uint64_t sequence = 0) const;
+
+ private:
+  mpint::BigInt group_key_;
+  Aes128 cipher_;
+};
+
+}  // namespace idgka::symc

@@ -1,0 +1,150 @@
+// Elliptic-curve arithmetic tests: named-curve constants, group laws,
+// scalar-multiplication properties, toy-curve generation.
+#include "ec/curve.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/hmac_drbg.h"
+#include "mpint/prime.h"
+
+namespace idgka::ec {
+namespace {
+
+using mpint::BigInt;
+
+TEST(NamedCurves, Secp160r1GeneratorOnCurveAndOrder) {
+  const Curve& c = secp160r1();
+  EXPECT_TRUE(c.is_on_curve(c.generator()));
+  EXPECT_TRUE(c.mul(c.order(), c.generator()).infinity);
+  EXPECT_EQ(c.p().bit_length(), 160U);
+  EXPECT_EQ(c.order().bit_length(), 161U);
+  EXPECT_TRUE(mpint::is_probable_prime(c.p(), *std::make_unique<hash::HmacDrbg>(1, "pr")));
+}
+
+TEST(NamedCurves, P256GeneratorOnCurveAndOrder) {
+  const Curve& c = p256();
+  EXPECT_TRUE(c.is_on_curve(c.generator()));
+  EXPECT_TRUE(c.mul(c.order(), c.generator()).infinity);
+  EXPECT_EQ(c.p().bit_length(), 256U);
+}
+
+TEST(NamedCurves, P256KnownScalarMultiple) {
+  // 2G for P-256 (public test vector).
+  const Curve& c = p256();
+  const Point two_g = c.mul(BigInt{2}, c.generator());
+  EXPECT_EQ(two_g.x.to_hex(), "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(two_g.y.to_hex(), "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+}
+
+TEST(GroupLaw, IdentityAndInverse) {
+  const Curve& c = secp160r1();
+  const Point g = c.generator();
+  const Point inf = Point::at_infinity();
+  EXPECT_EQ(c.add(g, inf), g);
+  EXPECT_EQ(c.add(inf, g), g);
+  EXPECT_TRUE(c.add(g, c.neg(g)).infinity);
+  EXPECT_TRUE(c.is_on_curve(c.neg(g)));
+}
+
+TEST(GroupLaw, AddDblConsistency) {
+  const Curve& c = secp160r1();
+  const Point g = c.generator();
+  EXPECT_EQ(c.add(g, g), c.dbl(g));
+  const Point g2 = c.dbl(g);
+  const Point g3a = c.add(g2, g);
+  const Point g3b = c.add(g, g2);
+  EXPECT_EQ(g3a, g3b);
+  EXPECT_EQ(c.mul(BigInt{3}, g), g3a);
+  EXPECT_TRUE(c.is_on_curve(g3a));
+}
+
+TEST(GroupLaw, Associativity) {
+  const Curve& c = secp160r1();
+  hash::HmacDrbg rng(10, "assoc");
+  const Point a = c.mul(mpint::random_below(rng, c.order()), c.generator());
+  const Point b = c.mul(mpint::random_below(rng, c.order()), c.generator());
+  const Point d = c.mul(mpint::random_below(rng, c.order()), c.generator());
+  EXPECT_EQ(c.add(c.add(a, b), d), c.add(a, c.add(b, d)));
+}
+
+class ScalarMulProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarMulProperty, DistributesOverScalarAddition) {
+  const Curve& c = secp160r1();
+  hash::HmacDrbg rng(static_cast<std::uint64_t>(GetParam()), "smul");
+  const BigInt k1 = mpint::random_below(rng, c.order());
+  const BigInt k2 = mpint::random_below(rng, c.order());
+  const Point lhs = c.mul((k1 + k2).mod(c.order()), c.generator());
+  const Point rhs = c.add(c.mul(k1, c.generator()), c.mul(k2, c.generator()));
+  EXPECT_EQ(lhs, rhs);
+  EXPECT_TRUE(c.is_on_curve(lhs));
+}
+
+TEST_P(ScalarMulProperty, MulAddMatchesSeparate) {
+  const Curve& c = secp160r1();
+  hash::HmacDrbg rng(static_cast<std::uint64_t>(GetParam()) + 100, "muladd");
+  const BigInt k1 = mpint::random_below(rng, c.order());
+  const BigInt k2 = mpint::random_below(rng, c.order());
+  const Point q = c.mul(mpint::random_below(rng, c.order()), c.generator());
+  const Point lhs = c.mul_add(k1, k2, q);
+  const Point rhs = c.add(c.mul(k1, c.generator()), c.mul(k2, q));
+  EXPECT_EQ(lhs, rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarMulProperty, ::testing::Range(1, 9));
+
+TEST(ScalarMul, EdgeScalars) {
+  const Curve& c = secp160r1();
+  const Point g = c.generator();
+  EXPECT_TRUE(c.mul(BigInt{}, g).infinity);
+  EXPECT_EQ(c.mul(BigInt{1}, g), g);
+  EXPECT_EQ(c.mul(c.order() + BigInt{1}, g), g);  // reduction mod n
+  EXPECT_EQ(c.mul(BigInt{-1}, g), c.neg(g));
+  EXPECT_EQ(c.mul(c.order() - BigInt{1}, g), c.neg(g));
+}
+
+TEST(ScalarMul, RawDoesNotReduce) {
+  const Curve& c = secp160r1();
+  const Point g = c.generator();
+  // mul_raw(n + 1) should equal G as well, but computed without reduction.
+  EXPECT_EQ(c.mul_raw(c.order() + BigInt{1}, g), g);
+  EXPECT_TRUE(c.mul_raw(c.order(), g).infinity);
+}
+
+TEST(Curve, RejectsBogusGenerator) {
+  const Curve& c = secp160r1();
+  EXPECT_THROW(Curve("bad", c.p(), c.a(), c.b(),
+                     Point{BigInt{1}, BigInt{2}, false}, c.order(), BigInt{1}),
+               std::invalid_argument);
+}
+
+TEST(Curve, OnCurveRejectsOffCurvePoints) {
+  const Curve& c = secp160r1();
+  Point bogus = c.generator();
+  bogus.x = (bogus.x + BigInt{1}).mod(c.p());
+  EXPECT_FALSE(c.is_on_curve(bogus));
+}
+
+TEST(ToyCurve, GeneratedCurveIsSound) {
+  hash::HmacDrbg rng(77, "toy");
+  const Curve c = generate_toy_curve(rng, 16);
+  EXPECT_TRUE(c.is_on_curve(c.generator()));
+  EXPECT_TRUE(c.mul(c.order(), c.generator()).infinity);
+  // Hasse bound: |#E - (p+1)| <= 2*sqrt(p).
+  const BigInt p1 = c.p() + BigInt{1};
+  const BigInt diff = (c.order() > p1 ? c.order() - p1 : p1 - c.order());
+  EXPECT_LE(diff * diff, BigInt{4} * c.p());
+  // Group law holds on the toy curve too.
+  const Point g2 = c.dbl(c.generator());
+  EXPECT_EQ(c.add(c.generator(), c.generator()), g2);
+  EXPECT_TRUE(c.is_on_curve(g2));
+}
+
+TEST(ToyCurve, RejectsBadSizes) {
+  hash::HmacDrbg rng(78, "toy2");
+  EXPECT_THROW(generate_toy_curve(rng, 4), std::invalid_argument);
+  EXPECT_THROW(generate_toy_curve(rng, 40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idgka::ec

@@ -1,0 +1,266 @@
+// Unit and property tests for the arbitrary-precision integer core.
+#include "mpint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "mpint/random.h"
+
+namespace idgka::mpint {
+namespace {
+
+TEST(BigIntBasics, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.bit_length(), 0U);
+}
+
+TEST(BigIntBasics, SmallConstruction) {
+  EXPECT_EQ(BigInt{42}.to_dec(), "42");
+  EXPECT_EQ(BigInt{-7}.to_dec(), "-7");
+  EXPECT_EQ(BigInt{0xFFFFFFFFFFFFFFFFULL}.to_hex(), "ffffffffffffffff");
+}
+
+TEST(BigIntBasics, HexRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "deadbeef",
+                         "ffffffffffffffff",
+                         "10000000000000000",
+                         "123456789abcdef0123456789abcdef0123456789abcdef"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt::from_hex(c).to_hex(), c) << c;
+  }
+  EXPECT_EQ(BigInt::from_hex("-ff").to_dec(), "-255");
+  EXPECT_EQ(BigInt::from_hex("0xAB").to_hex(), "ab");
+}
+
+TEST(BigIntBasics, DecRoundTrip) {
+  const char* cases[] = {"0", "1", "9", "10", "18446744073709551615", "18446744073709551616",
+                         "340282366920938463463374607431768211456",
+                         "99999999999999999999999999999999999999999999999999"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt::from_dec(c).to_dec(), c) << c;
+  }
+  EXPECT_EQ(BigInt::from_dec("-123").to_dec(), "-123");
+}
+
+TEST(BigIntBasics, FromHexRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec("12a"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec(""), std::invalid_argument);
+}
+
+TEST(BigIntBasics, BytesRoundTrip) {
+  const BigInt v = BigInt::from_hex("0102030405060708090a0b0c0d0e0f10");
+  const auto bytes = v.to_bytes_be();
+  EXPECT_EQ(bytes.size(), 16U);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[15], 0x10);
+  EXPECT_EQ(BigInt::from_bytes_be(bytes), v);
+
+  // Padding
+  const auto padded = BigInt{1}.to_bytes_be(8);
+  EXPECT_EQ(padded.size(), 8U);
+  EXPECT_EQ(padded[7], 1);
+  EXPECT_EQ(padded[0], 0);
+}
+
+TEST(BigIntBasics, NegativeZeroNormalizes) {
+  const BigInt a = BigInt{5} - BigInt{5};
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_FALSE(a.negative());
+  EXPECT_EQ(-BigInt{}, BigInt{});
+}
+
+TEST(BigIntArith, SignedAddSub) {
+  const BigInt a = BigInt::from_dec("123456789012345678901234567890");
+  const BigInt b = BigInt::from_dec("987654321098765432109876543210");
+  EXPECT_EQ((a + b).to_dec(), "1111111110111111111011111111100");
+  EXPECT_EQ((b - a).to_dec(), "864197532086419753208641975320");
+  EXPECT_EQ((a - b).to_dec(), "-864197532086419753208641975320");
+  EXPECT_EQ(a + (-a), BigInt{});
+  EXPECT_EQ((-a) + (-b), -(a + b));
+}
+
+TEST(BigIntArith, MultiplyCarryChains) {
+  const BigInt max64{0xFFFFFFFFFFFFFFFFULL};
+  EXPECT_EQ((max64 * max64).to_hex(), "fffffffffffffffe0000000000000001");
+  EXPECT_EQ((BigInt::from_hex("ffffffff") * BigInt::from_hex("ffffffff")).to_hex(),
+            "fffffffe00000001");
+  EXPECT_EQ(BigInt{0} * max64, BigInt{});
+}
+
+TEST(BigIntArith, DivisionBasics) {
+  EXPECT_EQ((BigInt{100} / BigInt{7}).to_dec(), "14");
+  EXPECT_EQ((BigInt{100} % BigInt{7}).to_dec(), "2");
+  // Truncated semantics: (-100)/7 == -14 rem -2.
+  EXPECT_EQ((BigInt{-100} / BigInt{7}).to_dec(), "-14");
+  EXPECT_EQ((BigInt{-100} % BigInt{7}).to_dec(), "-2");
+  EXPECT_EQ((BigInt{100} / BigInt{-7}).to_dec(), "-14");
+  EXPECT_EQ((BigInt{100} % BigInt{-7}).to_dec(), "2");
+  EXPECT_THROW(BigInt{1} / BigInt{}, std::domain_error);
+}
+
+TEST(BigIntArith, EuclideanMod) {
+  EXPECT_EQ(BigInt{-100}.mod(BigInt{7}).to_dec(), "5");
+  EXPECT_EQ(BigInt{100}.mod(BigInt{7}).to_dec(), "2");
+  EXPECT_EQ(BigInt{0}.mod(BigInt{7}), BigInt{});
+}
+
+TEST(BigIntArith, ShiftRoundTrip) {
+  const BigInt v = BigInt::from_hex("123456789abcdef0fedcba9876543210");
+  for (std::size_t s : {1U, 7U, 63U, 64U, 65U, 127U, 200U}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+  EXPECT_EQ(BigInt{1} << 64, BigInt::from_hex("10000000000000000"));
+  EXPECT_EQ(BigInt::from_hex("ff") >> 4, BigInt::from_hex("f"));
+  EXPECT_EQ(BigInt::from_hex("ff") >> 100, BigInt{});
+}
+
+TEST(BigIntArith, Comparisons) {
+  EXPECT_LT(BigInt{-5}, BigInt{3});
+  EXPECT_LT(BigInt{-5}, BigInt{-3});
+  EXPECT_GT(BigInt::from_hex("10000000000000000"), BigInt::from_hex("ffffffffffffffff"));
+  EXPECT_EQ(BigInt{7}, BigInt{7});
+}
+
+TEST(BigIntArith, BitAccess) {
+  const BigInt v = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 64U);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random algebraic identities exercising the Knuth division
+// and Karatsuba paths at many operand sizes.
+// ---------------------------------------------------------------------------
+
+class BigIntPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntPropertyTest, DivModReconstructsDividend) {
+  XoshiroRng rng(GetParam());
+  const std::size_t bits = 32 + GetParam() * 97 % 4096;
+  for (int i = 0; i < 25; ++i) {
+    const BigInt a = random_bits(rng, bits);
+    const BigInt b = random_bits(rng, 1 + (GetParam() * 31 + static_cast<std::size_t>(i) * 131) % bits);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+    EXPECT_FALSE(r.negative());
+  }
+}
+
+TEST_P(BigIntPropertyTest, MulCommutesAndDistributes) {
+  XoshiroRng rng(GetParam() * 7919);
+  const std::size_t bits = 16 + GetParam() * 211 % 3000;
+  const BigInt a = random_bits(rng, bits);
+  const BigInt b = random_bits(rng, bits / 2 + 1);
+  const BigInt c = random_bits(rng, bits / 3 + 1);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a + b) * (a - b), a * a - b * b);
+}
+
+TEST_P(BigIntPropertyTest, KaratsubaMatchesIdentity) {
+  // (a+b)^2 == a^2 + 2ab + b^2 on large operands that cross the Karatsuba
+  // threshold in the squaring but not the cross terms.
+  XoshiroRng rng(GetParam() * 104729);
+  const BigInt a = random_bits(rng, 2500 + GetParam() * 37 % 1500);
+  const BigInt b = random_bits(rng, 900 + GetParam() * 53 % 700);
+  EXPECT_EQ((a + b) * (a + b), a * a + BigInt{2} * a * b + b * b);
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTripsRandom) {
+  XoshiroRng rng(GetParam() * 31337);
+  const BigInt a = random_bits(rng, 8 + GetParam() * 67 % 2048);
+  EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+  EXPECT_EQ(BigInt::from_dec(a.to_dec()), a);
+  EXPECT_EQ(BigInt::from_bytes_be(a.to_bytes_be()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest, ::testing::Range<std::size_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Number theory helpers
+// ---------------------------------------------------------------------------
+
+TEST(NumberTheory, GcdKnownValues) {
+  EXPECT_EQ(gcd(BigInt{12}, BigInt{18}).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt{17}, BigInt{13}).to_dec(), "1");
+  EXPECT_EQ(gcd(BigInt{0}, BigInt{5}).to_dec(), "5");
+  EXPECT_EQ(gcd(BigInt{-12}, BigInt{18}).to_dec(), "6");
+}
+
+TEST(NumberTheory, EgcdBezout) {
+  XoshiroRng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_bits(rng, 200);
+    const BigInt b = random_bits(rng, 180);
+    BigInt x, y;
+    const BigInt g = egcd(a, b, x, y);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_EQ(g, gcd(a, b));
+  }
+}
+
+TEST(NumberTheory, ModInverse) {
+  EXPECT_EQ(mod_inverse(BigInt{3}, BigInt{7}).to_dec(), "5");
+  EXPECT_EQ(mod_inverse(BigInt{10}, BigInt{17}).to_dec(), "12");
+  EXPECT_THROW(mod_inverse(BigInt{6}, BigInt{9}), std::domain_error);
+  XoshiroRng rng(7);
+  const BigInt m = BigInt::from_dec("1000000007");
+  for (int i = 0; i < 30; ++i) {
+    const BigInt a = random_range(rng, BigInt{1}, m);
+    EXPECT_EQ(mod_mul(a, mod_inverse(a, m), m), BigInt{1});
+  }
+}
+
+TEST(NumberTheory, ModExpKnownValues) {
+  EXPECT_EQ(mod_exp(BigInt{2}, BigInt{10}, BigInt{1000}).to_dec(), "24");
+  EXPECT_EQ(mod_exp(BigInt{3}, BigInt{0}, BigInt{7}), BigInt{1});
+  EXPECT_EQ(mod_exp(BigInt{0}, BigInt{5}, BigInt{7}), BigInt{});
+  // Fermat: a^(p-1) = 1 mod p
+  const BigInt p = BigInt::from_dec("1000000007");
+  EXPECT_EQ(mod_exp(BigInt{123456}, p - BigInt{1}, p), BigInt{1});
+}
+
+TEST(NumberTheory, ModExpNegativeExponent) {
+  const BigInt p = BigInt::from_dec("1000000007");
+  const BigInt a{12345};
+  EXPECT_EQ(mod_mul(mod_exp(a, BigInt{-3}, p), mod_exp(a, BigInt{3}, p), p), BigInt{1});
+}
+
+TEST(NumberTheory, JacobiSymbol) {
+  // (a/7): QRs mod 7 are {1,2,4}.
+  EXPECT_EQ(jacobi(BigInt{1}, BigInt{7}), 1);
+  EXPECT_EQ(jacobi(BigInt{2}, BigInt{7}), 1);
+  EXPECT_EQ(jacobi(BigInt{3}, BigInt{7}), -1);
+  EXPECT_EQ(jacobi(BigInt{4}, BigInt{7}), 1);
+  EXPECT_EQ(jacobi(BigInt{5}, BigInt{7}), -1);
+  EXPECT_EQ(jacobi(BigInt{6}, BigInt{7}), -1);
+  EXPECT_EQ(jacobi(BigInt{7}, BigInt{7}), 0);
+  EXPECT_THROW((void)jacobi(BigInt{3}, BigInt{8}), std::domain_error);
+}
+
+TEST(NumberTheory, SqrtModP3) {
+  const BigInt p{103};  // 103 % 4 == 3
+  int qr_count = 0;
+  for (std::uint64_t a = 1; a < 103; ++a) {
+    BigInt root;
+    if (sqrt_mod_p3(BigInt{a}, p, root)) {
+      ++qr_count;
+      EXPECT_EQ(mod_mul(root, root, p), BigInt{a});
+    }
+  }
+  EXPECT_EQ(qr_count, 51);  // (p-1)/2 quadratic residues
+}
+
+}  // namespace
+}  // namespace idgka::mpint

@@ -1,0 +1,133 @@
+// Broadcast-network simulator tests: delivery, byte accounting, loss
+// injection, payload container.
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace idgka::net {
+namespace {
+
+Message make_msg(std::uint32_t sender, std::size_t bits = 0) {
+  Message m;
+  m.sender = sender;
+  m.type = "t";
+  m.payload.put_u32("id", sender);
+  m.declared_bits = bits;
+  return m;
+}
+
+TEST(Payload, TypedAccessors) {
+  Payload p;
+  p.put_int("z", mpint::BigInt{42});
+  p.put_blob("raw", {1, 2, 3});
+  p.put_u32("id", 7);
+  EXPECT_EQ(p.get_int("z"), mpint::BigInt{42});
+  EXPECT_EQ(p.get_blob("raw").size(), 3U);
+  EXPECT_EQ(p.get_u32("id"), 7U);
+  EXPECT_TRUE(p.has_int("z"));
+  EXPECT_FALSE(p.has_int("nope"));
+  EXPECT_THROW((void)p.get_int("nope"), std::out_of_range);
+  EXPECT_THROW((void)p.get_blob("nope"), std::out_of_range);
+}
+
+TEST(Payload, WireBytesAccountsAllFields) {
+  Payload p;
+  EXPECT_EQ(p.wire_bytes(), 0U);
+  p.put_u32("id", 1);
+  EXPECT_EQ(p.wire_bytes(), 5U);
+  p.put_blob("b", std::vector<std::uint8_t>(10));
+  EXPECT_EQ(p.wire_bytes(), 5U + 13U);
+  p.put_int("z", mpint::BigInt{0xFFFF});  // 2 bytes + 3 overhead
+  EXPECT_EQ(p.wire_bytes(), 5U + 13U + 5U);
+}
+
+TEST(Message, DeclaredBitsOverrideSerializedSize) {
+  Message m = make_msg(1);
+  EXPECT_EQ(m.accounted_bits(), m.payload.wire_bytes() * 8);
+  m.declared_bits = 2048;
+  EXPECT_EQ(m.accounted_bits(), 2048U);
+}
+
+TEST(Network, BroadcastReachesGroupNotSender) {
+  Network net;
+  for (std::uint32_t id : {1U, 2U, 3U, 4U}) net.add_node(id);
+  net.broadcast(make_msg(1, 100), {1, 2, 3});
+  EXPECT_EQ(net.pending(1), 0U);  // sender skipped
+  EXPECT_EQ(net.pending(2), 1U);
+  EXPECT_EQ(net.pending(3), 1U);
+  EXPECT_EQ(net.pending(4), 0U);  // not in group
+  const auto msgs = net.drain(2);
+  ASSERT_EQ(msgs.size(), 1U);
+  EXPECT_EQ(msgs[0].sender, 1U);
+  EXPECT_EQ(net.pending(2), 0U);  // drain removes
+}
+
+TEST(Network, UnicastRequiresRecipient) {
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  Message m = make_msg(1, 64);
+  EXPECT_THROW(net.unicast(m), std::invalid_argument);
+  m.recipient = 2;
+  net.unicast(m);
+  EXPECT_EQ(net.pending(2), 1U);
+}
+
+TEST(Network, StatsCountBitsAndMessages) {
+  Network net;
+  for (std::uint32_t id : {1U, 2U, 3U}) net.add_node(id);
+  net.broadcast(make_msg(1, 1000), {1, 2, 3});
+  net.broadcast(make_msg(2, 500), {1, 2, 3});
+  EXPECT_EQ(net.stats(1).tx_bits, 1000U);
+  EXPECT_EQ(net.stats(1).rx_bits, 500U);
+  EXPECT_EQ(net.stats(2).tx_bits, 500U);
+  EXPECT_EQ(net.stats(2).rx_bits, 1000U);
+  EXPECT_EQ(net.stats(3).rx_bits, 1500U);
+  EXPECT_EQ(net.stats(3).rx_messages, 2U);
+  const auto total = net.total_stats();
+  EXPECT_EQ(total.tx_bits, 1500U);
+  EXPECT_EQ(total.rx_bits, 3000U);  // two receivers per broadcast
+  net.reset_stats();
+  EXPECT_EQ(net.stats(1).tx_bits, 0U);
+}
+
+TEST(Network, UnknownNodesRejected) {
+  Network net;
+  net.add_node(1);
+  EXPECT_THROW(net.broadcast(make_msg(9), {1}), std::invalid_argument);
+  EXPECT_THROW((void)net.drain(9), std::invalid_argument);
+  EXPECT_THROW((void)net.stats(9), std::invalid_argument);
+  EXPECT_THROW(net.broadcast(make_msg(1), {9}), std::invalid_argument);
+}
+
+TEST(Network, LossInjectionDropsDeterministically) {
+  Network a(0.5, /*seed=*/42);
+  Network b(0.5, /*seed=*/42);
+  for (std::uint32_t id : {1U, 2U}) {
+    a.add_node(id);
+    b.add_node(id);
+  }
+  std::vector<bool> pattern_a;
+  std::vector<bool> pattern_b;
+  for (int i = 0; i < 100; ++i) {
+    a.broadcast(make_msg(1, 8), {1, 2});
+    b.broadcast(make_msg(1, 8), {1, 2});
+    pattern_a.push_back(a.pending(2) > 0);
+    pattern_b.push_back(b.pending(2) > 0);
+    (void)a.drain(2);
+    (void)b.drain(2);
+  }
+  EXPECT_EQ(pattern_a, pattern_b);  // same seed, same drops
+  EXPECT_GT(a.dropped(), 20U);      // ~50 expected
+  EXPECT_LT(a.dropped(), 80U);
+  // Receiver is not charged for dropped frames.
+  EXPECT_EQ(a.stats(2).rx_messages + a.dropped(), 100U);
+}
+
+TEST(Network, RejectsInvalidLossRate) {
+  EXPECT_THROW(Network(-0.1), std::invalid_argument);
+  EXPECT_THROW(Network(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idgka::net
