@@ -1,0 +1,133 @@
+// Flat GroupSession vs hierarchical cluster-based session at scale.
+//
+// For each group size: wall time, total broadcast volume and total energy of
+// the initial key agreement, then the *per-event* cost of a small churn
+// burst (half joins, half leaves). The flat protocol's per-event broadcast
+// volume grows linearly with n (every event rekeys the whole ring); the
+// hierarchical session keeps events cluster-local plus an O(#clusters) head
+// tier, so its per-event volume is sub-linear. Flat runs are capped at
+// n=256 to keep the sweep minutes-long; the hierarchy continues to 1024.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/hierarchical_session.h"
+
+using namespace idgka;
+using namespace idgka::bench;
+
+namespace {
+
+constexpr std::size_t kChurnEvents = 8;  // 4 joins + 4 leaves
+constexpr std::size_t kFlatCap = 256;
+
+struct Row {
+  double form_ms = 0.0;
+  double form_kbits = 0.0;
+  double form_mj = 0.0;
+  double event_ms = 0.0;
+  double event_kbits = 0.0;
+  double event_mj = 0.0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double ledger_total_mj(const energy::Ledger& ledger) {
+  return energy::ledger_energy_mj(ledger, energy::strongarm(), energy::wlan_spectrum24());
+}
+
+Row run_flat(gka::Authority& authority, std::size_t n) {
+  Row row;
+  gka::GroupSession session(authority, gka::Scheme::kProposed, make_ids(n, 10000), 1);
+  auto t0 = std::chrono::steady_clock::now();
+  if (!session.form().success) return row;
+  row.form_ms = ms_since(t0);
+
+  const auto sum_ledgers = [&] {
+    energy::Ledger total;
+    for (const std::uint32_t id : session.member_ids()) total += session.ledger(id);
+    return total;
+  };
+  energy::Ledger after_form = sum_ledgers();
+  row.form_kbits = static_cast<double>(after_form.tx_bits) / 1000.0;
+  row.form_mj = ledger_total_mj(after_form);
+
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChurnEvents / 2; ++i) {
+    if (!session.join(90000 + static_cast<std::uint32_t>(i)).success) return row;
+    if (!session.leave(10001 + static_cast<std::uint32_t>(i)).success) return row;
+  }
+  row.event_ms = ms_since(t0) / kChurnEvents;
+  // Departed members' ledgers are dropped by the session; the survivor sum
+  // still dominates and the comparison is conservative *against* the
+  // hierarchy (which retains every retired ledger in its roll-up).
+  const energy::Ledger after_churn = sum_ledgers();
+  row.event_kbits =
+      static_cast<double>(after_churn.tx_bits - after_form.tx_bits) / 1000.0 / kChurnEvents;
+  row.event_mj = (ledger_total_mj(after_churn) - row.form_mj) / kChurnEvents;
+  return row;
+}
+
+Row run_hierarchical(gka::Authority& authority, std::size_t n) {
+  Row row;
+  cluster::ClusterConfig cfg;
+  cfg.min_cluster = 8;
+  cfg.max_cluster = 48;
+  cluster::HierarchicalSession session(authority, cfg, make_ids(n, 10000), 1);
+  auto t0 = std::chrono::steady_clock::now();
+  if (!session.form().success) return row;
+  row.form_ms = ms_since(t0);
+  const cluster::AggregateReport after_form = session.report();
+  row.form_kbits = static_cast<double>(after_form.total.tx_bits) / 1000.0;
+  row.form_mj = after_form.energy_mj(energy::strongarm(), energy::wlan_spectrum24());
+
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChurnEvents / 2; ++i) {
+    if (!session.join(90000 + static_cast<std::uint32_t>(i)).success) return row;
+    if (!session.leave(10001 + static_cast<std::uint32_t>(i)).success) return row;
+  }
+  row.event_ms = ms_since(t0) / kChurnEvents;
+  const cluster::AggregateReport after_churn = session.report();
+  row.event_kbits =
+      static_cast<double>(after_churn.total.tx_bits - after_form.total.tx_bits) / 1000.0 /
+      kChurnEvents;
+  row.event_mj = (after_churn.energy_mj(energy::strongarm(), energy::wlan_spectrum24()) -
+                  row.form_mj) /
+                 kChurnEvents;
+  return row;
+}
+
+void print_row(const char* scheme, std::size_t n, const Row& row) {
+  std::printf("%-14s %6zu %10.1f %11.1f %10.1f %11.2f %13.2f %11.3f\n", scheme, n, row.form_ms,
+              row.form_kbits, row.form_mj, row.event_ms, row.event_kbits, row.event_mj);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Cluster scaling: flat ring vs hierarchical clusters ===\n");
+  std::printf("kTiny parameter profile; churn burst = %zu events (joins+leaves);\n",
+              kChurnEvents);
+  std::printf("energy: StrongARM CPU + Spectrum24 WLAN radio, whole deployment\n\n");
+  std::printf("%-14s %6s %10s %11s %10s %11s %13s %11s\n", "scheme", "n", "form ms",
+              "form kbit", "form mJ", "event ms", "event kbit", "event mJ");
+  rule('-', 94);
+
+  gka::Authority authority(gka::SecurityProfile::kTiny, 4711);
+  for (const std::size_t n : {32UL, 64UL, 128UL, 256UL, 512UL, 1024UL}) {
+    if (n <= kFlatCap) {
+      print_row("flat", n, run_flat(authority, n));
+    } else {
+      std::printf("%-14s %6zu %10s   (skipped: quadratic rekey volume)\n", "flat", n, "-");
+    }
+    print_row("hierarchical", n, run_hierarchical(authority, n));
+  }
+  rule('-', 94);
+  std::printf("\nper-event broadcast volume: flat grows ~linearly with n; hierarchical is\n"
+              "bounded by the cluster size + head tier (sub-linear), which is what makes\n"
+              "n=1000+ churny deployments feasible.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "cluster/batch.h"
+
+#include <algorithm>
+
+namespace idgka::cluster {
+
+void EventQueue::push(Event event) {
+  // Coalesce against the *latest* queued event for this id, so any push
+  // sequence collapses to one of: [], [join], [leave], [leave, join].
+  const auto same_id = [&](const Event& e) { return e.id == event.id; };
+  const auto rit = std::find_if(events_.rbegin(), events_.rend(), same_id);
+  if (rit == events_.rend()) {
+    events_.push_back(event);
+    return;
+  }
+  if (rit->type == event.type) return;  // duplicate of the latest intent
+  if (rit->type == EventType::kJoin && event.type == EventType::kLeave) {
+    // A leave cancels the pending join it follows (the join was either a
+    // new member that never materializes, or a re-enrollment now revoked).
+    events_.erase(std::next(rit).base());
+    return;
+  }
+  // leave + join of an existing member: keep both (the member departs and
+  // re-enrolls within one batch, forcing fresh key material).
+  events_.push_back(event);
+}
+
+std::vector<Event> EventQueue::drain() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace idgka::cluster

@@ -1,0 +1,38 @@
+// Membership-event batching queue.
+//
+// A churn burst (mass arrivals, a moving partition front) is cheapest when
+// coalesced: all leaf-local changes are applied first and the expensive
+// global step — head-tier rekey + downward key distribution — runs once for
+// the whole batch, the same way the paper's Partition generalizes a run of
+// Leaves. The queue also cancels join/leave pairs that would be a no-op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace idgka::cluster {
+
+enum class EventType : std::uint8_t { kJoin, kLeave };
+
+struct Event {
+  EventType type;
+  std::uint32_t id;
+};
+
+class EventQueue {
+ public:
+  /// Queues an event. A leave cancels a pending join of the same id (the
+  /// member never materializes); duplicate (type, id) pairs are dropped.
+  void push(Event event);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Removes and returns all pending events in arrival order.
+  [[nodiscard]] std::vector<Event> drain();
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace idgka::cluster

@@ -1,0 +1,42 @@
+// Tuning knobs for the hierarchical (cluster-based) session.
+//
+// The flat protocol's per-event cost grows with the whole group size n; the
+// hierarchical layer bounds every leaf ring to [min_cluster, max_cluster]
+// members so membership events stay cluster-local, with only the (much
+// smaller) head tier rekeyed globally. max_cluster >= 2 * min_cluster is
+// required so a split never immediately produces an underflowing half.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "gka/session.h"
+
+namespace idgka::cluster {
+
+struct ClusterConfig {
+  /// Clusters below this size are merged into a neighbour (when more than
+  /// one cluster exists).
+  std::size_t min_cluster = 8;
+  /// Clusters above this size are split into two halves.
+  std::size_t max_cluster = 48;
+  /// Enqueued events auto-flush into one rekey round at this queue depth.
+  std::size_t batch_capacity = 32;
+  /// Protocol run inside every leaf cluster and in the head tier.
+  gka::Scheme scheme = gka::Scheme::kProposed;
+  /// Loss rate applied to every leaf (and head-tier) network.
+  double loss_rate = 0.0;
+
+  /// Initial shard size used by form() (midpoint of the bounds).
+  [[nodiscard]] std::size_t target_size() const { return (min_cluster + max_cluster) / 2; }
+
+  void validate() const {
+    if (min_cluster < 2) throw std::invalid_argument("ClusterConfig: min_cluster < 2");
+    if (max_cluster < 2 * min_cluster) {
+      throw std::invalid_argument("ClusterConfig: max_cluster must be >= 2 * min_cluster");
+    }
+    if (batch_capacity == 0) throw std::invalid_argument("ClusterConfig: batch_capacity == 0");
+  }
+};
+
+}  // namespace idgka::cluster

@@ -1,0 +1,499 @@
+#include "cluster/hierarchical_session.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "symc/kdf.h"
+#include "symc/sealed_box.h"
+
+namespace idgka::cluster {
+
+namespace {
+
+constexpr int kMaxRekeyRetransmits = 16;
+
+std::uint64_t sealed_blocks(std::size_t bytes) { return bytes / symc::Aes128::kBlockSize; }
+
+}  // namespace
+
+HierarchicalSession::HierarchicalSession(gka::Authority& authority, ClusterConfig config,
+                                         std::vector<std::uint32_t> ids, std::uint64_t seed)
+    : authority_(authority), config_(config), seed_(seed) {
+  config_.validate();
+  if (ids.size() < 2) {
+    throw std::invalid_argument("HierarchicalSession: need at least 2 members");
+  }
+  {
+    std::set<std::uint32_t> unique(ids.begin(), ids.end());
+    if (unique.size() != ids.size()) {
+      throw std::invalid_argument("HierarchicalSession: duplicate member id");
+    }
+  }
+  // Balanced sharding into k clusters of ~target_size() members each. k is
+  // capped so no shard underflows min_cluster and floored so none exceeds
+  // max_cluster (a single cluster is exempt from the lower bound).
+  const std::size_t n = ids.size();
+  std::size_t k = (n + config_.target_size() - 1) / config_.target_size();
+  k = std::min(k, std::max<std::size_t>(1, n / config_.min_cluster));
+  k = std::max(k, (n + config_.max_cluster - 1) / config_.max_cluster);
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;
+  auto it = ids.begin();
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t take = base + (c < extra ? 1 : 0);
+    std::vector<std::uint32_t> shard(it, it + static_cast<std::ptrdiff_t>(take));
+    it += static_cast<std::ptrdiff_t>(take);
+    clusters_.push_back(std::make_unique<gka::GroupSession>(
+        authority_, config_.scheme, std::move(shard), next_seed(), config_.loss_rate));
+  }
+}
+
+EventSummary HierarchicalSession::form() {
+  EventSummary summary;
+  for (auto& cluster : clusters_) {
+    if (!cluster->form().success) return summary;  // success stays false
+    ++summary.clusters_touched;
+  }
+  update_head_tier();
+  rekey_and_distribute();
+  summary.success = true;
+  summary.epoch = epoch_;
+  return summary;
+}
+
+EventSummary HierarchicalSession::join(std::uint32_t id) {
+  queue_.push({EventType::kJoin, id});
+  return flush();
+}
+
+EventSummary HierarchicalSession::leave(std::uint32_t id) {
+  queue_.push({EventType::kLeave, id});
+  return flush();
+}
+
+EventSummary HierarchicalSession::partition(const std::vector<std::uint32_t>& leaver_ids) {
+  for (const std::uint32_t id : leaver_ids) queue_.push({EventType::kLeave, id});
+  return flush();
+}
+
+std::optional<EventSummary> HierarchicalSession::enqueue_join(std::uint32_t id) {
+  queue_.push({EventType::kJoin, id});
+  if (queue_.size() >= config_.batch_capacity) return flush();
+  return std::nullopt;
+}
+
+std::optional<EventSummary> HierarchicalSession::enqueue_leave(std::uint32_t id) {
+  queue_.push({EventType::kLeave, id});
+  if (queue_.size() >= config_.batch_capacity) return flush();
+  return std::nullopt;
+}
+
+EventSummary HierarchicalSession::flush() {
+  EventSummary summary;
+  summary.success = true;
+  summary.epoch = epoch_;
+  const std::vector<Event> events = queue_.drain();
+  if (events.empty()) return summary;
+  if (group_key_.is_zero()) throw std::logic_error("HierarchicalSession: flush before form()");
+
+  std::vector<std::uint32_t> joins;
+  std::vector<std::uint32_t> leaves;
+  for (const Event& e : events) {
+    (e.type == EventType::kJoin ? joins : leaves).push_back(e.id);
+  }
+  for (const std::uint32_t id : leaves) {
+    if (!contains(id)) throw std::invalid_argument("leave: id not in group");
+  }
+  if (size() - leaves.size() < 2) {
+    throw std::invalid_argument("flush: group would drop below 2 members");
+  }
+  // Joins must be validated up front too: rejecting one mid-batch (after the
+  // leaves were already applied) would abandon the round half-rekeyed.
+  for (const std::uint32_t id : joins) {
+    const bool departing = std::find(leaves.begin(), leaves.end(), id) != leaves.end();
+    if (contains(id) && !departing) throw std::invalid_argument("join: id already in group");
+  }
+  summary.events_applied = events.size();
+
+  apply_leaves(leaves, summary);
+  apply_joins(joins, summary);
+  rebalance(summary);
+  update_head_tier();
+  rekey_and_distribute();
+  summary.epoch = epoch_;
+  return summary;
+}
+
+EventSummary HierarchicalSession::merge(HierarchicalSession& other) {
+  if (&other == this) throw std::invalid_argument("merge: cannot merge with self");
+  if (&other.authority_ != &authority_ || other.config_.scheme != config_.scheme) {
+    throw std::invalid_argument("merge: sessions must share authority and scheme");
+  }
+  if (group_key_.is_zero() || other.group_key_.is_zero()) {
+    throw std::logic_error("merge: both sessions must be formed");
+  }
+  for (const std::uint32_t id : other.member_ids()) {
+    if (contains(id)) throw std::invalid_argument("merge: member id present in both groups");
+  }
+  other.flush();  // settle any pending events on the other side first
+
+  // Adopt the other hierarchy's clusters wholesale — their leaf rings stay
+  // intact; only the head tier is renegotiated.
+  for (auto& cluster : other.clusters_) clusters_.push_back(std::move(cluster));
+  other.clusters_.clear();
+  retired_ += other.retired_;
+  other.retired_ = energy::Ledger{};
+  if (other.head_tier_) {
+    for (const std::uint32_t id : other.head_tier_->member_ids()) {
+      retired_ += other.head_tier_->ledger(id);
+    }
+    other.head_tier_.reset();
+  }
+  other.member_view_.clear();
+  other.group_key_ = BigInt{};
+
+  EventSummary summary;
+  summary.success = true;
+  rebalance(summary);
+  update_head_tier();
+  rekey_and_distribute();
+  summary.epoch = epoch_;
+  return summary;
+}
+
+void HierarchicalSession::apply_leaves(const std::vector<std::uint32_t>& leaver_ids,
+                                       EventSummary& summary) {
+  if (leaver_ids.empty()) return;
+  std::vector<std::vector<std::uint32_t>> per(clusters_.size());
+  for (const std::uint32_t id : leaver_ids) {
+    bool found = false;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      const auto ids = clusters_[i]->member_ids();
+      if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+        per[i].push_back(id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("leave: id not in group");
+  }
+
+  // A cluster whose survivors would drop below 2 cannot run Leave/Partition
+  // on its own ring; fold it into the neighbour with the most survivors
+  // first, then depart from the combined ring.
+  for (;;) {
+    std::size_t victim = clusters_.size();
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      if (!per[i].empty() && clusters_[i]->size() - per[i].size() < 2) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim == clusters_.size() || clusters_.size() < 2) break;
+    std::size_t target = clusters_.size();
+    std::size_t best_survivors = 0;
+    for (std::size_t j = 0; j < clusters_.size(); ++j) {
+      if (j == victim) continue;
+      const std::size_t survivors = clusters_[j]->size() - per[j].size();
+      if (target == clusters_.size() || survivors > best_survivors) {
+        target = j;
+        best_survivors = survivors;
+      }
+    }
+    if (!clusters_[target]->merge(*clusters_[victim]).success) {
+      throw std::runtime_error("apply_leaves: cluster merge failed");
+    }
+    ++summary.merges;
+    ++summary.clusters_touched;
+    per[target].insert(per[target].end(), per[victim].begin(), per[victim].end());
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(victim));
+    per.erase(per.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (per[i].empty()) continue;
+    for (const std::uint32_t id : per[i]) {
+      retired_ += clusters_[i]->ledger(id);
+      member_view_.erase(id);
+    }
+    const gka::RunResult result = per[i].size() == 1 ? clusters_[i]->leave(per[i].front())
+                                                     : clusters_[i]->partition(per[i]);
+    if (!result.success) throw std::runtime_error("apply_leaves: leaf rekey failed");
+    ++summary.clusters_touched;
+  }
+}
+
+void HierarchicalSession::apply_joins(const std::vector<std::uint32_t>& joiner_ids,
+                                      EventSummary& summary) {
+  for (const std::uint32_t id : joiner_ids) {
+    if (contains(id)) throw std::invalid_argument("join: id already in group");
+    // Smallest cluster takes the newcomer (keeps shards balanced and delays
+    // the next split as long as possible).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < clusters_.size(); ++i) {
+      if (clusters_[i]->size() < clusters_[best]->size()) best = i;
+    }
+    if (!clusters_[best]->join(id).success) {
+      throw std::runtime_error("apply_joins: leaf join failed");
+    }
+    ++summary.clusters_touched;
+  }
+}
+
+void HierarchicalSession::rebalance(EventSummary& summary) {
+  // Merge underflowing clusters into the smallest neighbour.
+  while (clusters_.size() > 1) {
+    std::size_t smallest = 0;
+    for (std::size_t i = 1; i < clusters_.size(); ++i) {
+      if (clusters_[i]->size() < clusters_[smallest]->size()) smallest = i;
+    }
+    if (clusters_[smallest]->size() >= config_.min_cluster) break;
+    std::size_t target = smallest == 0 ? 1 : 0;
+    for (std::size_t j = 0; j < clusters_.size(); ++j) {
+      if (j != smallest && clusters_[j]->size() < clusters_[target]->size()) target = j;
+    }
+    if (!clusters_[target]->merge(*clusters_[smallest]).success) {
+      throw std::runtime_error("rebalance: cluster merge failed");
+    }
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(smallest));
+    ++summary.merges;
+    ++summary.clusters_touched;
+  }
+  // Split oversized clusters into halves (each half >= min_cluster because
+  // max_cluster >= 2 * min_cluster).
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    while (clusters_[i]->size() > config_.max_cluster) {
+      const auto ids = clusters_[i]->member_ids();
+      const std::vector<std::uint32_t> moved(ids.begin() + static_cast<std::ptrdiff_t>(ids.size() / 2),
+                                             ids.end());
+      // split() re-forms the moved members from scratch; their per-member
+      // ledgers are retired into the lifetime total first.
+      for (const std::uint32_t id : moved) retired_ += clusters_[i]->ledger(id);
+      clusters_.push_back(
+          std::make_unique<gka::GroupSession>(clusters_[i]->split(moved, next_seed())));
+      summary.splits += 1;
+      summary.clusters_touched += 2;
+    }
+  }
+}
+
+void HierarchicalSession::update_head_tier() {
+  if (clusters_.size() < 2) {
+    if (head_tier_) {
+      retire_ledgers(*head_tier_);
+      head_tier_.reset();
+    }
+    return;
+  }
+  const std::vector<std::uint32_t> desired = cluster_heads();
+  if (!head_tier_) {
+    rebuild_head_tier();
+    return;
+  }
+  const std::vector<std::uint32_t> current = head_tier_->member_ids();
+  const std::set<std::uint32_t> current_set(current.begin(), current.end());
+  const std::set<std::uint32_t> desired_set(desired.begin(), desired.end());
+  std::vector<std::uint32_t> added;
+  std::vector<std::uint32_t> removed;
+  for (const std::uint32_t id : desired) {
+    if (!current_set.contains(id)) added.push_back(id);
+  }
+  for (const std::uint32_t id : current) {
+    if (!desired_set.contains(id)) removed.push_back(id);
+  }
+  if (added.empty() && removed.empty()) {
+    // Tier membership unchanged, but leaf events happened below: re-execute
+    // the head-tier GKA so the epoch key cannot be derived by departed
+    // members who still know the old tier key.
+    if (!head_tier_->form().success) {
+      throw std::runtime_error("update_head_tier: tier rekey failed");
+    }
+    return;
+  }
+  // Incremental update: joins first so the tier never drops below 2 mid-way.
+  for (const std::uint32_t id : added) {
+    if (!head_tier_->join(id).success) {
+      throw std::runtime_error("update_head_tier: head join failed");
+    }
+  }
+  for (const std::uint32_t id : removed) {
+    retired_ += head_tier_->ledger(id);
+    if (!head_tier_->leave(id).success) {
+      throw std::runtime_error("update_head_tier: head leave failed");
+    }
+  }
+}
+
+void HierarchicalSession::rebuild_head_tier() {
+  if (head_tier_) retire_ledgers(*head_tier_);
+  head_tier_ = std::make_unique<gka::GroupSession>(authority_, config_.scheme, cluster_heads(),
+                                                   next_seed(), config_.loss_rate);
+  if (!head_tier_->form().success) {
+    throw std::runtime_error("rebuild_head_tier: tier key agreement failed");
+  }
+}
+
+void HierarchicalSession::retire_ledgers(const gka::GroupSession& session) {
+  for (const std::uint32_t id : session.member_ids()) retired_ += session.ledger(id);
+}
+
+void HierarchicalSession::rekey_and_distribute() {
+  ++epoch_;
+  const BigInt& tier_key = head_tier_ ? head_tier_->key() : clusters_.front()->key();
+  const std::string label = "idgka-cluster-v1|epoch|" + std::to_string(epoch_);
+  const auto key_bytes = symc::derive_key(tier_key, label);
+  group_key_ = BigInt::from_bytes_be(key_bytes);
+  member_view_.clear();
+
+  if (!head_tier_) {
+    // Single-cluster mode: everyone already holds the leaf key and derives
+    // the epoch key locally — no broadcast needed.
+    gka::GroupSession& leaf = *clusters_.front();
+    for (const std::uint32_t id : leaf.member_ids()) {
+      leaf.mutable_ledger(id).record(energy::Op::kHashBlock);
+      member_view_[id] = group_key_;
+    }
+    return;
+  }
+
+  for (auto& cluster : clusters_) {
+    const std::vector<std::uint32_t> ids = cluster->member_ids();
+    const std::uint32_t head = ids.front();
+    // The head derives the epoch key from the tier key, seals it under its
+    // leaf cluster key and broadcasts it downward; leaf members only run
+    // symmetric decryptions.
+    cluster->mutable_ledger(head).record(energy::Op::kHashBlock);
+    member_view_[head] = group_key_;
+    const symc::SealedBox box(cluster->key());
+    const std::vector<std::uint8_t> sealed = box.seal(group_key_, head, epoch_);
+    cluster->mutable_ledger(head).record(energy::Op::kSymEncBlock, sealed_blocks(sealed.size()));
+
+    net::Message msg;
+    msg.sender = head;
+    msg.type = "cluster-rekey";
+    msg.payload.put_blob("sealed_key", sealed);
+    net::Network& network = cluster->mutable_network();
+    network.broadcast(msg, ids);
+
+    const auto receive = [&](std::uint32_t id) {
+      for (const net::Message& m : network.drain(id)) {
+        if (m.type != "cluster-rekey" || m.sender != head) continue;
+        const auto& blob = m.payload.get_blob("sealed_key");
+        cluster->mutable_ledger(id).record(energy::Op::kSymDecBlock, sealed_blocks(blob.size()));
+        if (const auto opened = box.open(blob, head, epoch_)) {
+          member_view_[id] = *opened;
+          return true;
+        }
+      }
+      return false;
+    };
+    std::vector<std::uint32_t> missing;
+    for (const std::uint32_t id : ids) {
+      if (id != head && !receive(id)) missing.push_back(id);
+    }
+    // Lossy leaf networks may drop the broadcast copy; the head unicasts to
+    // the stragglers until everyone holds the epoch key.
+    for (int attempt = 0; attempt < kMaxRekeyRetransmits && !missing.empty(); ++attempt) {
+      std::vector<std::uint32_t> still_missing;
+      for (const std::uint32_t id : missing) {
+        net::Message retry = msg;
+        retry.recipient = id;
+        network.unicast(std::move(retry));
+        if (!receive(id)) still_missing.push_back(id);
+      }
+      missing.swap(still_missing);
+    }
+    if (!missing.empty()) {
+      throw std::runtime_error("rekey_and_distribute: rekey delivery failed");
+    }
+    cluster->sync_traffic();
+  }
+}
+
+const BigInt& HierarchicalSession::group_key() const {
+  if (group_key_.is_zero()) throw std::logic_error("HierarchicalSession: no key yet");
+  return group_key_;
+}
+
+const BigInt& HierarchicalSession::member_key_view(std::uint32_t id) const {
+  const auto it = member_view_.find(id);
+  if (it == member_view_.end()) {
+    throw std::invalid_argument("HierarchicalSession: no key view for id");
+  }
+  return it->second;
+}
+
+bool HierarchicalSession::all_members_agree() const {
+  if (group_key_.is_zero() || member_view_.size() != size()) return false;
+  return std::all_of(member_view_.begin(), member_view_.end(),
+                     [&](const auto& kv) { return kv.second == group_key_; });
+}
+
+std::size_t HierarchicalSession::size() const {
+  std::size_t n = 0;
+  for (const auto& cluster : clusters_) n += cluster->size();
+  return n;
+}
+
+bool HierarchicalSession::contains(std::uint32_t id) const {
+  for (const auto& cluster : clusters_) {
+    const auto ids = cluster->member_ids();
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> HierarchicalSession::member_ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(size());
+  for (const auto& cluster : clusters_) {
+    const auto ids = cluster->member_ids();
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+std::vector<std::size_t> HierarchicalSession::cluster_sizes() const {
+  std::vector<std::size_t> out;
+  out.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) out.push_back(cluster->size());
+  return out;
+}
+
+std::vector<std::uint32_t> HierarchicalSession::cluster_heads() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) out.push_back(cluster->member_ids().front());
+  return out;
+}
+
+AggregateReport HierarchicalSession::report() const {
+  AggregateReport rep;
+  rep.members = size();
+  rep.clusters = clusters_.size();
+  rep.total = retired_;
+  for (const auto& cluster : clusters_) {
+    for (const std::uint32_t id : cluster->member_ids()) rep.total += cluster->ledger(id);
+    const net::TrafficStats stats = cluster->network().total_stats();
+    rep.traffic.tx_messages += stats.tx_messages;
+    rep.traffic.rx_messages += stats.rx_messages;
+    rep.traffic.tx_bits += stats.tx_bits;
+    rep.traffic.rx_bits += stats.rx_bits;
+  }
+  if (head_tier_) {
+    for (const std::uint32_t id : head_tier_->member_ids()) {
+      rep.total += head_tier_->ledger(id);
+      rep.head_tier += head_tier_->ledger(id);
+    }
+    const net::TrafficStats stats = head_tier_->network().total_stats();
+    rep.traffic.tx_messages += stats.tx_messages;
+    rep.traffic.rx_messages += stats.rx_messages;
+    rep.traffic.tx_bits += stats.tx_bits;
+    rep.traffic.rx_bits += stats.rx_bits;
+  }
+  return rep;
+}
+
+}  // namespace idgka::cluster

@@ -1,0 +1,133 @@
+// Two-tier (cluster-based) group key agreement.
+//
+// The flat GroupSession runs one ring over all n members, so every
+// membership event broadcasts over — and rekeys — the whole group. A
+// HierarchicalSession shards the group into clusters bounded by
+// [min_cluster, max_cluster]; each cluster runs the paper's protocol as an
+// independent leaf GroupSession on its own broadcast domain, and the
+// cluster heads (first ring member of each cluster) run a second-tier GKA
+// among themselves. The global group key is derived from the head-tier key
+// with symc::derive_key and pushed downward as one SealedBox broadcast per
+// cluster, sealed under that cluster's leaf key — leaf members perform only
+// symmetric decryptions, never an extra exponentiation.
+//
+// Membership events stay cluster-local: a leave rekeys one leaf ring
+// (O(cluster) work) plus the head tier (O(#clusters)), instead of O(n).
+// Clusters split when they outgrow max_cluster and are merged into a
+// neighbour when they underflow min_cluster, so the bound holds under
+// arbitrary churn. A burst of events can be enqueued and flushed as one
+// batch: all leaf-local changes are applied first and the head-tier rekey +
+// downward distribution run once for the whole batch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/batch.h"
+#include "cluster/config.h"
+#include "cluster/report.h"
+#include "gka/session.h"
+
+namespace idgka::cluster {
+
+using mpint::BigInt;
+
+/// Outcome of one hierarchical operation (form or a flushed batch).
+struct EventSummary {
+  bool success = false;
+  /// Membership events applied in this round.
+  std::size_t events_applied = 0;
+  /// Leaf clusters that ran a protocol (event, split or merge).
+  std::size_t clusters_touched = 0;
+  std::size_t splits = 0;
+  std::size_t merges = 0;
+  /// Rekey epoch after the round (increments once per distribution).
+  std::uint64_t epoch = 0;
+};
+
+class HierarchicalSession {
+ public:
+  /// Shards `ids` into clusters of ~config.target_size(). Deterministic
+  /// under `seed`. Throws if `ids.size() < 2` or the config is invalid.
+  HierarchicalSession(gka::Authority& authority, ClusterConfig config,
+                      std::vector<std::uint32_t> ids, std::uint64_t seed);
+
+  /// Runs the initial GKA in every leaf cluster and the head tier, then
+  /// distributes the first group key.
+  EventSummary form();
+
+  // --- Immediate membership events (enqueue + flush one event) ---
+  EventSummary join(std::uint32_t id);
+  EventSummary leave(std::uint32_t id);
+  /// Batch departure (the paper's Partition, generalized across clusters).
+  EventSummary partition(const std::vector<std::uint32_t>& leaver_ids);
+  /// Adopts every cluster of `other` wholesale (same authority / scheme
+  /// required), rebuilds the head tier and rekeys. `other` is drained.
+  EventSummary merge(HierarchicalSession& other);
+
+  // --- Batched membership events ---
+  /// Queues an event; flushes automatically (returning the summary) when
+  /// the queue reaches config.batch_capacity.
+  std::optional<EventSummary> enqueue_join(std::uint32_t id);
+  std::optional<EventSummary> enqueue_leave(std::uint32_t id);
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Applies all queued events as one rekey round.
+  EventSummary flush();
+
+  // --- Introspection ---
+  /// The authoritative group key (derived from the head-tier key).
+  [[nodiscard]] const BigInt& group_key() const;
+  /// The group key as decrypted by one member from its head's rekey
+  /// broadcast — what the member would actually encrypt traffic with.
+  [[nodiscard]] const BigInt& member_key_view(std::uint32_t id) const;
+  /// True when every current member's decrypted view equals group_key().
+  [[nodiscard]] bool all_members_agree() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool contains(std::uint32_t id) const;
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  [[nodiscard]] std::vector<std::uint32_t> member_ids() const;
+  [[nodiscard]] std::vector<std::size_t> cluster_sizes() const;
+  [[nodiscard]] std::vector<std::uint32_t> cluster_heads() const;
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// Rolls up per-member ledgers (leaf + head tier + retired) and network
+  /// counters into one deployment-wide report.
+  [[nodiscard]] AggregateReport report() const;
+
+ private:
+  [[nodiscard]] std::uint64_t next_seed() { return seed_ ^ (0x9e3779b97f4a7c15ULL * ++seed_ctr_); }
+
+  void apply_leaves(const std::vector<std::uint32_t>& leaver_ids, EventSummary& summary);
+  void apply_joins(const std::vector<std::uint32_t>& joiner_ids, EventSummary& summary);
+  void rebalance(EventSummary& summary);
+  void update_head_tier();
+  void rebuild_head_tier();
+  void retire_ledgers(const gka::GroupSession& session);
+  void rekey_and_distribute();
+
+  gka::Authority& authority_;
+  ClusterConfig config_;
+  std::uint64_t seed_;
+  std::uint64_t seed_ctr_ = 0;
+
+  std::vector<std::unique_ptr<gka::GroupSession>> clusters_;
+  /// Second-tier session among cluster heads; null while only one cluster
+  /// exists (the group key then derives from the single leaf key).
+  std::unique_ptr<gka::GroupSession> head_tier_;
+
+  EventQueue queue_;
+  std::uint64_t epoch_ = 0;
+  BigInt group_key_;
+  /// Per-member decrypted view of the group key (tests verify consistency).
+  std::map<std::uint32_t, BigInt> member_view_;
+  /// Ledgers of departed members and of per-member state retired by cluster
+  /// splits / head-tier rebuilds — kept so report() stays a lifetime total.
+  energy::Ledger retired_;
+};
+
+}  // namespace idgka::cluster

@@ -1,0 +1,10 @@
+#include "cluster/report.h"
+
+namespace idgka::cluster {
+
+double AggregateReport::energy_mj(const energy::CpuProfile& cpu,
+                                  const energy::RadioProfile& radio) const {
+  return energy::ledger_energy_mj(total, cpu, radio);
+}
+
+}  // namespace idgka::cluster

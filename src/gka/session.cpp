@@ -32,6 +32,7 @@ GroupSession::GroupSession(Authority& authority, Scheme scheme,
     : authority_(authority),
       scheme_(scheme),
       seed_(seed),
+      loss_rate_(loss_rate),
       network_(std::make_unique<net::Network>(loss_rate, seed)) {
   if (ids.size() < 2) throw std::invalid_argument("GroupSession: need at least 2 members");
   members_.reserve(ids.size());
@@ -124,6 +125,7 @@ RunResult GroupSession::leave(std::uint32_t id) {
 
   if (scheme_ != Scheme::kProposed) {
     std::erase_if(members_, [&](const MemberCtx& m) { return m.cred.id == id; });
+    network_->remove_node(id);
     for (MemberCtx& m : members_) {
       m.ring.clear();  // ring rebuilt by re-execution
     }
@@ -136,6 +138,7 @@ RunResult GroupSession::leave(std::uint32_t id) {
   absorb_traffic();
   if (result.success) {
     std::erase_if(members_, [&](const MemberCtx& m) { return m.cred.id == id; });
+    network_->remove_node(id);
   }
   return result;
 }
@@ -152,6 +155,7 @@ RunResult GroupSession::partition(const std::vector<std::uint32_t>& leaver_ids) 
     std::erase_if(members_, [&](const MemberCtx& m) {
       return std::find(leaver_ids.begin(), leaver_ids.end(), m.cred.id) != leaver_ids.end();
     });
+    for (const std::uint32_t id : leaver_ids) network_->remove_node(id);
     for (MemberCtx& m : members_) m.ring.clear();
     return reexecute();
   }
@@ -164,6 +168,7 @@ RunResult GroupSession::partition(const std::vector<std::uint32_t>& leaver_ids) 
     std::erase_if(members_, [&](const MemberCtx& m) {
       return std::find(leaver_ids.begin(), leaver_ids.end(), m.cred.id) != leaver_ids.end();
     });
+    for (const std::uint32_t id : leaver_ids) network_->remove_node(id);
   }
   return result;
 }
@@ -173,9 +178,18 @@ RunResult GroupSession::merge(GroupSession& other) {
   if (other.scheme_ != scheme_ || &other.authority_ != &authority_) {
     throw std::invalid_argument("merge: sessions must share scheme and authority");
   }
-  // Move the other session's members onto this network.
+  for (const MemberCtx& m : other.members_) {
+    if (find(m.cred.id) != nullptr) {
+      throw std::invalid_argument("merge: member id present in both groups");
+    }
+  }
+  // Move the other session's members onto this network; their old inboxes
+  // and counters (already absorbed into ledgers) are dropped.
   other.absorb_traffic();
-  for (MemberCtx& m : other.members_) network_->add_node(m.cred.id);
+  for (MemberCtx& m : other.members_) {
+    network_->add_node(m.cred.id);
+    other.network_->remove_node(m.cred.id);
+  }
 
   if (scheme_ != Scheme::kProposed) {
     for (MemberCtx& m : other.members_) {
@@ -199,6 +213,19 @@ RunResult GroupSession::merge(GroupSession& other) {
   return result;
 }
 
+GroupSession GroupSession::split(const std::vector<std::uint32_t>& moved_ids,
+                                 std::uint64_t seed) {
+  if (moved_ids.size() < 2) throw std::invalid_argument("split: need >= 2 moved members");
+  GroupSession offshoot(authority_, scheme_, moved_ids, seed, loss_rate_);
+  if (!partition(moved_ids).success) {
+    throw std::runtime_error("split: survivor rekey failed");
+  }
+  if (!offshoot.form().success) {
+    throw std::runtime_error("split: offshoot key agreement failed");
+  }
+  return offshoot;
+}
+
 const BigInt& GroupSession::key() const {
   if (members_.empty()) throw std::logic_error("GroupSession: no members");
   return members_.front().key;
@@ -220,6 +247,12 @@ const energy::Ledger& GroupSession::ledger(std::uint32_t id) const {
     if (m.cred.id == id) return m.ledger;
   }
   throw std::invalid_argument("GroupSession::ledger: unknown id");
+}
+
+energy::Ledger& GroupSession::mutable_ledger(std::uint32_t id) {
+  MemberCtx* m = find(id);
+  if (m == nullptr) throw std::invalid_argument("GroupSession::mutable_ledger: unknown id");
+  return m->ledger;
 }
 
 void GroupSession::reset_ledgers() {

@@ -46,8 +46,15 @@ class GroupSession {
   /// Merges `other` into this session (paper Merge / re-execution). The
   /// other session is drained (becomes empty).
   RunResult merge(GroupSession& other);
+  /// Splits `moved_ids` off into a freshly formed session (ring-state hook
+  /// for hierarchical clustering): the survivors rekey via partition(), the
+  /// moved members run a new GKA among themselves under `seed`. Requires
+  /// >= 2 moved members and >= 2 survivors; throws std::runtime_error if
+  /// either protocol run fails.
+  GroupSession split(const std::vector<std::uint32_t>& moved_ids, std::uint64_t seed);
 
   [[nodiscard]] Scheme scheme() const { return scheme_; }
+  [[nodiscard]] double loss_rate() const { return loss_rate_; }
   [[nodiscard]] const BigInt& key() const;
   [[nodiscard]] std::vector<std::uint32_t> member_ids() const;
   [[nodiscard]] std::size_t size() const { return members_.size(); }
@@ -55,6 +62,13 @@ class GroupSession {
 
   /// Cumulative per-member energy ledger (ops + radio bits).
   [[nodiscard]] const energy::Ledger& ledger(std::uint32_t id) const;
+  /// Mutable ledger access for layers that run extra crypto on behalf of a
+  /// member (e.g. the cluster rekey distribution).
+  [[nodiscard]] energy::Ledger& mutable_ledger(std::uint32_t id);
+  /// Folds network traffic that occurred outside a protocol run (e.g.
+  /// cluster-layer broadcasts on this session's network) into the member
+  /// ledgers and re-snapshots the counters.
+  void sync_traffic() { absorb_traffic(); }
   /// Zeroes all ledgers and network counters (e.g. between experiments).
   void reset_ledgers();
 
@@ -82,6 +96,7 @@ class GroupSession {
   Authority& authority_;
   Scheme scheme_;
   std::uint64_t seed_;
+  double loss_rate_;
   std::unique_ptr<net::Network> network_;
   std::vector<MemberCtx> members_;  // ring order
   std::map<std::uint32_t, net::TrafficStats> traffic_snapshot_;

@@ -16,6 +16,11 @@ void Network::add_node(std::uint32_t id) {
   stats_.try_emplace(id);
 }
 
+void Network::remove_node(std::uint32_t id) {
+  inboxes_.erase(id);
+  stats_.erase(id);
+}
+
 bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
 
 void Network::deliver(const Message& msg, std::uint32_t to) {

@@ -35,7 +35,13 @@ class Network {
 
   /// Registers a node; must be called before it can send or receive.
   void add_node(std::uint32_t id);
+  /// Deregisters a node, discarding its pending inbox and traffic counters
+  /// (departed members must not accumulate state for the lifetime of a
+  /// long-churn simulation). No-op when the node is unknown.
+  void remove_node(std::uint32_t id);
   [[nodiscard]] bool has_node(std::uint32_t id) const;
+  /// Number of currently registered nodes.
+  [[nodiscard]] std::size_t node_count() const { return inboxes_.size(); }
 
   /// Broadcast to an explicit receiver group (paper protocols broadcast to
   /// the current group or subgroup). The sender must not appear in `group`

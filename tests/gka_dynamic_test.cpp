@@ -244,6 +244,56 @@ TEST(BaselineDynamics, ReExecutionForNonProposedSchemes) {
   }
 }
 
+TEST(Leave, DepartedMemberLeavesNoNetworkState) {
+  GroupSession session(test_authority(), Scheme::kProposed, make_ids(6, 800), 30);
+  ASSERT_TRUE(session.form().success);
+  ASSERT_TRUE(session.leave(803).success);
+  EXPECT_FALSE(session.network().has_node(803));
+  ASSERT_TRUE(session.partition({801, 804}).success);
+  EXPECT_FALSE(session.network().has_node(801));
+  EXPECT_FALSE(session.network().has_node(804));
+  // Only current members remain registered.
+  EXPECT_EQ(session.network().node_count(), session.size());
+}
+
+TEST(Split, MovesMembersIntoFreshSession) {
+  GroupSession session(test_authority(), Scheme::kProposed, make_ids(8, 820), 31);
+  ASSERT_TRUE(session.form().success);
+  const BigInt before = session.key();
+
+  GroupSession offshoot = session.split({824, 825, 826, 827}, 32);
+  EXPECT_EQ(session.size(), 4U);
+  EXPECT_EQ(offshoot.size(), 4U);
+  expect_consistent(session, "survivors after split");
+  expect_consistent(offshoot, "offshoot after split");
+  EXPECT_NE(session.key(), before);        // survivors rekeyed
+  EXPECT_NE(offshoot.key(), session.key());  // independent rings
+  // Moved members are gone from the original network.
+  for (const std::uint32_t id : {824U, 825U, 826U, 827U}) {
+    EXPECT_FALSE(session.network().has_node(id));
+  }
+  EXPECT_THROW((void)session.split({828}, 33), std::invalid_argument);
+}
+
+TEST(Split, OffshootInheritsLossRate) {
+  GroupSession session(test_authority(), Scheme::kProposed, make_ids(6, 840), 34,
+                       /*loss_rate=*/0.10);
+  ASSERT_TRUE(session.form().success);
+  GroupSession offshoot = session.split({843, 844, 845}, 35);
+  EXPECT_DOUBLE_EQ(offshoot.loss_rate(), 0.10);
+  expect_consistent(offshoot, "lossy offshoot");
+}
+
+TEST(Merge, RejectsOverlappingMemberSets) {
+  GroupSession a(test_authority(), Scheme::kProposed, make_ids(3, 860), 36);
+  GroupSession b(test_authority(), Scheme::kProposed, make_ids(3, 861), 37);  // shares 861, 862
+  ASSERT_TRUE(a.form().success);
+  ASSERT_TRUE(b.form().success);
+  EXPECT_THROW((void)a.merge(b), std::invalid_argument);
+  EXPECT_EQ(a.size(), 3U);
+  EXPECT_EQ(b.size(), 3U);  // both untouched
+}
+
 TEST(BaselineDynamics, MergeByReExecution) {
   GroupSession a(test_authority(), Scheme::kBdEcdsa, make_ids(3, 560), 23);
   GroupSession b(test_authority(), Scheme::kBdEcdsa, make_ids(2, 580), 24);

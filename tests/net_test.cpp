@@ -129,5 +129,28 @@ TEST(Network, RejectsInvalidLossRate) {
   EXPECT_THROW(Network(1.0), std::invalid_argument);
 }
 
+TEST(Network, RemoveNodeDropsInboxAndStats) {
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  net.add_node(3);
+  net.broadcast(make_msg(1, 8), {1, 2, 3});
+  ASSERT_EQ(net.pending(2), 1U);
+
+  net.remove_node(2);
+  EXPECT_FALSE(net.has_node(2));
+  EXPECT_EQ(net.node_count(), 2U);
+  EXPECT_EQ(net.pending(2), 0U);
+  EXPECT_THROW((void)net.stats(2), std::invalid_argument);
+  // Departed members no longer count toward the totals...
+  EXPECT_EQ(net.total_stats().rx_messages, 1U);
+  // ...and broadcasting to a removed recipient is an error.
+  EXPECT_THROW(net.broadcast(make_msg(1, 8), {2, 3}), std::invalid_argument);
+  // Removing an unknown node is a no-op; re-adding starts fresh.
+  net.remove_node(99);
+  net.add_node(2);
+  EXPECT_EQ(net.stats(2).rx_messages, 0U);
+}
+
 }  // namespace
 }  // namespace idgka::net
