@@ -140,14 +140,20 @@ EventSummary HierarchicalSession::merge(HierarchicalSession& other) {
   other.flush();  // settle any pending events on the other side first
 
   // Adopt the other hierarchy's clusters wholesale — their leaf rings stay
-  // intact; only the head tier is renegotiated.
-  for (auto& cluster : other.clusters_) clusters_.push_back(std::move(cluster));
+  // intact; only the head tier is renegotiated. Adopted networks switch to
+  // this hierarchy's network hook (timed driver, if any).
+  for (auto& cluster : other.clusters_) {
+    cluster->set_network_hook(network_hook_);
+    clusters_.push_back(std::move(cluster));
+  }
   other.clusters_.clear();
   retired_ += other.retired_;
   other.retired_ = energy::Ledger{};
+  for (const auto& [id, ledger] : other.retired_by_member_) retired_by_member_[id] += ledger;
+  other.retired_by_member_.clear();
   if (other.head_tier_) {
     for (const std::uint32_t id : other.head_tier_->member_ids()) {
-      retired_ += other.head_tier_->ledger(id);
+      retire_member(id, other.head_tier_->ledger(id));
     }
     other.head_tier_.reset();
   }
@@ -215,7 +221,7 @@ void HierarchicalSession::apply_leaves(const std::vector<std::uint32_t>& leaver_
   for (std::size_t i = 0; i < clusters_.size(); ++i) {
     if (per[i].empty()) continue;
     for (const std::uint32_t id : per[i]) {
-      retired_ += clusters_[i]->ledger(id);
+      retire_member(id, clusters_[i]->ledger(id));
       member_view_.erase(id);
     }
     const gka::RunResult result = per[i].size() == 1 ? clusters_[i]->leave(per[i].front())
@@ -270,7 +276,7 @@ void HierarchicalSession::rebalance(EventSummary& summary) {
                                              ids.end());
       // split() re-forms the moved members from scratch; their per-member
       // ledgers are retired into the lifetime total first.
-      for (const std::uint32_t id : moved) retired_ += clusters_[i]->ledger(id);
+      for (const std::uint32_t id : moved) retire_member(id, clusters_[i]->ledger(id));
       clusters_.push_back(
           std::make_unique<gka::GroupSession>(clusters_[i]->split(moved, next_seed())));
       summary.splits += 1;
@@ -319,7 +325,7 @@ void HierarchicalSession::update_head_tier() {
     }
   }
   for (const std::uint32_t id : removed) {
-    retired_ += head_tier_->ledger(id);
+    retire_member(id, head_tier_->ledger(id));
     if (!head_tier_->leave(id).success) {
       throw std::runtime_error("update_head_tier: head leave failed");
     }
@@ -330,13 +336,19 @@ void HierarchicalSession::rebuild_head_tier() {
   if (head_tier_) retire_ledgers(*head_tier_);
   head_tier_ = std::make_unique<gka::GroupSession>(authority_, config_.scheme, cluster_heads(),
                                                    next_seed(), config_.loss_rate);
+  if (network_hook_) head_tier_->set_network_hook(network_hook_);
   if (!head_tier_->form().success) {
     throw std::runtime_error("rebuild_head_tier: tier key agreement failed");
   }
 }
 
+void HierarchicalSession::retire_member(std::uint32_t id, const energy::Ledger& ledger) {
+  retired_ += ledger;
+  retired_by_member_[id] += ledger;
+}
+
 void HierarchicalSession::retire_ledgers(const gka::GroupSession& session) {
-  for (const std::uint32_t id : session.member_ids()) retired_ += session.ledger(id);
+  for (const std::uint32_t id : session.member_ids()) retire_member(id, session.ledger(id));
 }
 
 void HierarchicalSession::rekey_and_distribute() {
@@ -376,6 +388,7 @@ void HierarchicalSession::rekey_and_distribute() {
     msg.payload.put_blob("sealed_key", sealed);
     net::Network& network = cluster->mutable_network();
     network.broadcast(msg, ids);
+    network.await_delivery();
 
     const auto receive = [&](std::uint32_t id) {
       for (const net::Message& m : network.drain(id)) {
@@ -394,13 +407,18 @@ void HierarchicalSession::rekey_and_distribute() {
       if (id != head && !receive(id)) missing.push_back(id);
     }
     // Lossy leaf networks may drop the broadcast copy; the head unicasts to
-    // the stragglers until everyone holds the epoch key.
-    for (int attempt = 0; attempt < kMaxRekeyRetransmits && !missing.empty(); ++attempt) {
-      std::vector<std::uint32_t> still_missing;
+    // the stragglers until everyone holds the epoch key. A timed driver's
+    // retry cap (Network::retry_cap) overrides the built-in bound.
+    const int retries = network.retry_cap().value_or(kMaxRekeyRetransmits);
+    for (int attempt = 0; attempt < retries && !missing.empty(); ++attempt) {
       for (const std::uint32_t id : missing) {
         net::Message retry = msg;
         retry.recipient = id;
         network.unicast(std::move(retry));
+      }
+      network.await_delivery();
+      std::vector<std::uint32_t> still_missing;
+      for (const std::uint32_t id : missing) {
         if (!receive(id)) still_missing.push_back(id);
       }
       missing.swap(still_missing);
@@ -467,6 +485,35 @@ std::vector<std::uint32_t> HierarchicalSession::cluster_heads() const {
   out.reserve(clusters_.size());
   for (const auto& cluster : clusters_) out.push_back(cluster->member_ids().front());
   return out;
+}
+
+energy::Ledger HierarchicalSession::member_ledger(std::uint32_t id) const {
+  energy::Ledger total;
+  bool found = false;
+  for (const auto& cluster : clusters_) {
+    const auto ids = cluster->member_ids();
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+      total += cluster->ledger(id);
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::invalid_argument("HierarchicalSession::member_ledger: unknown id");
+  if (head_tier_) {
+    const auto heads = head_tier_->member_ids();
+    if (std::find(heads.begin(), heads.end(), id) != heads.end()) {
+      total += head_tier_->ledger(id);
+    }
+  }
+  const auto rit = retired_by_member_.find(id);
+  if (rit != retired_by_member_.end()) total += rit->second;
+  return total;
+}
+
+void HierarchicalSession::set_network_hook(NetworkHook hook) {
+  network_hook_ = std::move(hook);
+  for (auto& cluster : clusters_) cluster->set_network_hook(network_hook_);
+  if (head_tier_) head_tier_->set_network_hook(network_hook_);
 }
 
 AggregateReport HierarchicalSession::report() const {

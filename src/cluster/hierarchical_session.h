@@ -99,6 +99,19 @@ class HierarchicalSession {
   /// counters into one deployment-wide report.
   [[nodiscard]] AggregateReport report() const;
 
+  /// Lifetime ledger of one *current* member: its leaf-cluster ledger, its
+  /// head-tier ledger when it leads a cluster, plus every tenure of its
+  /// that was retired along the way (cluster splits, head-tier rebuilds,
+  /// departures before a rejoin) — monotonic over the node's lifetime, so
+  /// a battery can integrate it directly. Throws for unknown ids.
+  [[nodiscard]] energy::Ledger member_ledger(std::uint32_t id) const;
+
+  /// Hook applied to every leaf and head-tier network, current and future
+  /// (head-tier rebuilds, cluster splits, adopted clusters on merge). The
+  /// discrete-event driver (src/sim) installs its timed transport this way.
+  using NetworkHook = gka::GroupSession::NetworkHook;
+  void set_network_hook(NetworkHook hook);
+
  private:
   [[nodiscard]] std::uint64_t next_seed() { return seed_ ^ (0x9e3779b97f4a7c15ULL * ++seed_ctr_); }
 
@@ -107,6 +120,7 @@ class HierarchicalSession {
   void rebalance(EventSummary& summary);
   void update_head_tier();
   void rebuild_head_tier();
+  void retire_member(std::uint32_t id, const energy::Ledger& ledger);
   void retire_ledgers(const gka::GroupSession& session);
   void rekey_and_distribute();
 
@@ -121,6 +135,7 @@ class HierarchicalSession {
   std::unique_ptr<gka::GroupSession> head_tier_;
 
   EventQueue queue_;
+  NetworkHook network_hook_;
   std::uint64_t epoch_ = 0;
   BigInt group_key_;
   /// Per-member decrypted view of the group key (tests verify consistency).
@@ -128,6 +143,9 @@ class HierarchicalSession {
   /// Ledgers of departed members and of per-member state retired by cluster
   /// splits / head-tier rebuilds — kept so report() stays a lifetime total.
   energy::Ledger retired_;
+  /// The same retired energy attributed per node, so member_ledger() stays
+  /// monotonic across splits / tier rebuilds / rejoins (battery accounting).
+  std::map<std::uint32_t, energy::Ledger> retired_by_member_;
 };
 
 }  // namespace idgka::cluster

@@ -24,7 +24,8 @@ RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& 
     return false;
   };
 
-  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+  const int retries = network.retry_cap().value_or(max_retries);
+  for (int attempt = 0; attempt <= retries; ++attempt) {
     // Transmit every message still missing at one or more receivers.
     bool sent_any = false;
     for (const RoundSend& send : sends) {
@@ -41,6 +42,9 @@ RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& 
       result.complete = true;
       return result;
     }
+    // Under a timed driver this advances the virtual clock by one round
+    // timeout so scheduled deposits land; lockstep networks no-op.
+    network.await_delivery();
     // Drain inboxes: keep the first copy of each (sender, receiver) pair.
     for (const std::uint32_t rx : receivers) {
       for (net::Message& msg : network.drain(rx)) {

@@ -33,7 +33,10 @@ struct RoundResult {
 
 /// Executes one reliable broadcast round. `receivers` lists every node that
 /// must end up with all messages addressed to it. A sender that is also a
-/// receiver implicitly "has" its own message.
+/// receiver implicitly "has" its own message. Between transmitting and
+/// draining the round calls Network::await_delivery(), so a timed driver
+/// can advance the clock by its round timeout; `max_retries` is overridden
+/// by Network::retry_cap() when the driver bounds retransmission.
 [[nodiscard]] RoundResult exchange_round(net::Network& network,
                                          const std::vector<RoundSend>& sends,
                                          const std::vector<std::uint32_t>& receivers,

@@ -213,10 +213,16 @@ RunResult GroupSession::merge(GroupSession& other) {
   return result;
 }
 
+void GroupSession::set_network_hook(NetworkHook hook) {
+  network_hook_ = std::move(hook);
+  if (network_hook_) network_hook_(*network_);
+}
+
 GroupSession GroupSession::split(const std::vector<std::uint32_t>& moved_ids,
                                  std::uint64_t seed) {
   if (moved_ids.size() < 2) throw std::invalid_argument("split: need >= 2 moved members");
   GroupSession offshoot(authority_, scheme_, moved_ids, seed, loss_rate_);
+  if (network_hook_) offshoot.set_network_hook(network_hook_);
   if (!partition(moved_ids).success) {
     throw std::runtime_error("split: survivor rekey failed");
   }

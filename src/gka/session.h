@@ -76,6 +76,13 @@ class GroupSession {
   /// Mutable access for failure-injection and eavesdropping experiments.
   [[nodiscard]] net::Network& mutable_network() { return *network_; }
 
+  /// Hook applied to this session's network immediately and to the network
+  /// of any session split() creates, before it carries protocol traffic.
+  /// The discrete-event driver (src/sim) uses it to install timed transport
+  /// / round-barrier hooks on every network the protocols touch.
+  using NetworkHook = std::function<void(net::Network&)>;
+  void set_network_hook(NetworkHook hook);
+
   /// Countermeasure policy for the tau-reuse weakness (DESIGN.md §8): when
   /// enabled, Leave/Partition refresh every survivor's GQ commitment.
   void set_refresh_all_commitments(bool enabled) { refresh_all_commitments_ = enabled; }
@@ -100,6 +107,7 @@ class GroupSession {
   std::unique_ptr<net::Network> network_;
   std::vector<MemberCtx> members_;  // ring order
   std::map<std::uint32_t, net::TrafficStats> traffic_snapshot_;
+  NetworkHook network_hook_;
   bool refresh_all_commitments_ = false;
   bool key_confirmation_ = false;
 };

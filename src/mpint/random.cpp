@@ -14,6 +14,10 @@ std::uint64_t Rng::next_u64() {
   return v;
 }
 
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
 XoshiroRng::XoshiroRng(std::uint64_t seed) {
   // SplitMix64 expansion of the seed, per Blackman & Vigna's reference.
   std::uint64_t x = seed;

@@ -23,6 +23,10 @@ class Rng {
 
   /// Uniform 64-bit value.
   std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) from 53 random bits (loss draws, jitter,
+  /// waypoint positions — one definition so every module agrees bit-for-bit).
+  double next_double();
 };
 
 /// xoshiro256** — fast, high-quality, NON-cryptographic. For tests and

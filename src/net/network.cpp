@@ -23,27 +23,47 @@ void Network::remove_node(std::uint32_t id) {
 
 bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
 
-void Network::deliver(const Message& msg, std::uint32_t to) {
-  if (loss_rate_ > 0.0) {
-    // Uniform draw in [0, 1) from 53 random bits.
-    const double u = static_cast<double>(rng_.next_u64() >> 11) * 0x1.0p-53;
-    if (u < loss_rate_) {
-      ++dropped_;
-      return;
-    }
-  }
-  auto it = inboxes_.find(to);
-  if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown recipient");
+void Network::record_drop(const Message& msg, std::uint32_t to) {
+  ++dropped_;
+  const auto it = stats_.find(to);
+  if (it != stats_.end()) ++it->second.dropped_messages;
+  if (drop_observer_) drop_observer_(msg, to);
+}
+
+void Network::enqueue(std::vector<Message>& inbox, const Message& msg, std::uint32_t to) {
   auto& st = stats_[to];
   ++st.rx_messages;
   st.rx_bits += msg.accounted_bits();
   if (tamper_) {
     Message copy = msg;
     if (!tamper_(copy, to)) return;  // suppressed by the adversary
-    it->second.push_back(std::move(copy));
+    inbox.push_back(std::move(copy));
     return;
   }
-  it->second.push_back(msg);
+  inbox.push_back(msg);
+}
+
+void Network::deliver(const Message& msg, std::uint32_t to) {
+  // Unknown recipients are rejected before the loss draw so the error is
+  // raised consistently, not only on the (1 - loss_rate) paths.
+  auto it = inboxes_.find(to);
+  if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown recipient");
+  if (loss_rate_ > 0.0 && rng_.next_double() < loss_rate_) {
+    record_drop(msg, to);
+    return;
+  }
+  enqueue(it->second, msg, to);
+}
+
+void Network::deposit(const Message& msg, std::uint32_t to) {
+  auto it = inboxes_.find(to);
+  if (it == inboxes_.end()) {
+    // Receiver departed while the copy was in flight: a timed medium cannot
+    // un-send, so the copy is accounted as lost rather than an error.
+    record_drop(msg, to);
+    return;
+  }
+  enqueue(it->second, msg, to);
 }
 
 void Network::broadcast(const Message& msg, const std::vector<std::uint32_t>& group) {
@@ -53,8 +73,12 @@ void Network::broadcast(const Message& msg, const std::vector<std::uint32_t>& gr
   ++st.tx_messages;
   st.tx_bits += msg.accounted_bits();
   for (const std::uint32_t to : group) {
-    if (to == msg.sender) continue;
-    deliver(msg, to);
+    if (to == msg.sender) continue;  // self-delivery never happens
+    if (transport_) {
+      transport_(msg, to);
+    } else {
+      deliver(msg, to);
+    }
   }
 }
 
@@ -67,7 +91,11 @@ void Network::unicast(Message msg) {
   auto& st = stats_[msg.sender];
   ++st.tx_messages;
   st.tx_bits += msg.accounted_bits();
-  deliver(msg, *msg.recipient);
+  if (transport_) {
+    transport_(msg, *msg.recipient);
+  } else {
+    deliver(msg, *msg.recipient);
+  }
 }
 
 std::vector<Message> Network::drain(std::uint32_t node) {
@@ -96,6 +124,7 @@ TrafficStats Network::total_stats() const {
     total.rx_messages += st.rx_messages;
     total.tx_bits += st.tx_bits;
     total.rx_bits += st.rx_bits;
+    total.dropped_messages += st.dropped_messages;
   }
   return total;
 }

@@ -6,11 +6,18 @@
 // received message. The simulator is round-based (protocols drain inboxes
 // between rounds), counts bits per node for the energy model, and can
 // inject message loss to exercise the protocols' retransmission paths.
+//
+// The discrete-event layer (src/sim) turns the same network into a timed
+// medium without touching protocol code: a Transport hook intercepts every
+// (message, receiver) copy and later re-injects it via deposit(), a
+// RoundBarrier hook advances the virtual clock between a round's transmit
+// and drain phases, and a DropObserver accounts every lost copy.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "mpint/random.h"
@@ -24,13 +31,17 @@ struct TrafficStats {
   std::uint64_t rx_messages = 0;
   std::uint64_t tx_bits = 0;
   std::uint64_t rx_bits = 0;
+  /// Copies addressed to this node that were lost (loss injection, a link
+  /// model's record_drop, or arrival after the node departed).
+  std::uint64_t dropped_messages = 0;
 };
 
 /// Broadcast network with per-node inboxes and optional loss injection.
 class Network {
  public:
   /// `loss_rate` in [0, 1): probability that any (message, receiver) pair is
-  /// dropped. Loss is deterministic under `seed`.
+  /// dropped. Loss is deterministic under `seed`. When a Transport is
+  /// installed it supersedes the uniform loss model (deposit() never draws).
   explicit Network(double loss_rate = 0.0, std::uint64_t seed = 0);
 
   /// Registers a node; must be called before it can send or receive.
@@ -44,8 +55,12 @@ class Network {
   [[nodiscard]] std::size_t node_count() const { return inboxes_.size(); }
 
   /// Broadcast to an explicit receiver group (paper protocols broadcast to
-  /// the current group or subgroup). The sender must not appear in `group`
-  /// or is skipped if it does.
+  /// the current group or subgroup). Self-delivery never happens: a sender
+  /// that appears in `group` is skipped and is charged tx exactly once, rx
+  /// never. An unknown receiver in `group` always throws
+  /// std::invalid_argument, independent of loss injection; with a Transport
+  /// installed the copy is handed off instead and a receiver that departs
+  /// while it is in flight is recorded as a drop at arrival time.
   void broadcast(const Message& msg, const std::vector<std::uint32_t>& group);
 
   /// Point-to-point transmission (e.g. Join Round 3 Un -> Un+1).
@@ -58,7 +73,8 @@ class Network {
 
   [[nodiscard]] const TrafficStats& stats(std::uint32_t node) const;
   [[nodiscard]] TrafficStats total_stats() const;
-  /// Messages dropped by loss injection so far.
+  /// Total lost copies so far (loss injection + record_drop + arrivals at
+  /// departed nodes).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   void reset_stats();
@@ -74,8 +90,50 @@ class Network {
   using Sniffer = std::function<void(const Message&)>;
   void set_sniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
 
+  // --- Timed-delivery hooks (src/sim) ---
+
+  /// Intercepts every (message, receiver) copy instead of immediate
+  /// delivery. The transport owns the copy's fate: it must eventually call
+  /// deposit() (arrival) or record_drop() (loss). Senders are charged tx at
+  /// hand-off time as usual.
+  using Transport = std::function<void(const Message&, std::uint32_t receiver)>;
+  void set_transport(Transport transport) { transport_ = std::move(transport); }
+  [[nodiscard]] bool has_transport() const { return static_cast<bool>(transport_); }
+
+  /// Injects a copy that arrives "now" on the timed path: charges rx, runs
+  /// the tamper hook and enqueues. No loss draw (the transport already
+  /// decided). A receiver that departed while the copy was in flight is
+  /// recorded as a drop instead of throwing.
+  void deposit(const Message& msg, std::uint32_t to);
+
+  /// Accounts one lost (message, receiver) copy: bumps the global counter,
+  /// the receiver's `dropped_messages` (when still registered) and notifies
+  /// the drop observer. The sim layer calls this for link-model losses so
+  /// drop accounting lives in one place.
+  void record_drop(const Message& msg, std::uint32_t to);
+
+  /// Observer of every lost copy (message, intended receiver).
+  using DropObserver = std::function<void(const Message&, std::uint32_t receiver)>;
+  void set_drop_observer(DropObserver observer) { drop_observer_ = std::move(observer); }
+
+  /// Invoked by reliable-round loops (gka::exchange_round, the cluster
+  /// rekey distribution) between transmitting and draining. The sim layer
+  /// installs a barrier that advances the virtual clock by one round
+  /// timeout so in-flight deposits land; without one, rounds stay lockstep.
+  using RoundBarrier = std::function<void()>;
+  void set_round_barrier(RoundBarrier barrier) { round_barrier_ = std::move(barrier); }
+  void await_delivery() {
+    if (round_barrier_) round_barrier_();
+  }
+
+  /// Overrides the retransmission cap reliable-round loops were called
+  /// with (bounded retransmission under a timed driver).
+  void set_retry_cap(int cap) { retry_cap_ = cap; }
+  [[nodiscard]] std::optional<int> retry_cap() const { return retry_cap_; }
+
  private:
   void deliver(const Message& msg, std::uint32_t to);
+  void enqueue(std::vector<Message>& inbox, const Message& msg, std::uint32_t to);
 
   double loss_rate_;
   mpint::XoshiroRng rng_;
@@ -84,6 +142,10 @@ class Network {
   std::uint64_t dropped_ = 0;
   TamperHook tamper_;
   Sniffer sniffer_;
+  Transport transport_;
+  DropObserver drop_observer_;
+  RoundBarrier round_barrier_;
+  std::optional<int> retry_cap_;
 };
 
 }  // namespace idgka::net

@@ -1,0 +1,185 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace idgka::sim {
+
+ProtocolDriver::ProtocolDriver(Scheduler& scheduler, const DriverConfig& config,
+                               std::uint64_t seed)
+    : scheduler_(scheduler), cfg_(config), link_(config.link, seed) {
+  if (cfg_.round_timeout_us == 0) {
+    throw std::invalid_argument("ProtocolDriver: round_timeout_us must be > 0");
+  }
+  if (cfg_.retry_cap < 0) throw std::invalid_argument("ProtocolDriver: retry_cap < 0");
+}
+
+void ProtocolDriver::install(net::Network& network) {
+  // The token is owned by the transport closure, which the network owns:
+  // when the network is torn down mid-flight (head-tier rebuilds), pending
+  // deposit events see the expired token and become no-ops instead of
+  // touching a dead network.
+  auto token = std::make_shared<int>(0);
+  net::Network* net = &network;
+  network.set_transport([this, net, token](const net::Message& msg, std::uint32_t to) {
+    const LinkModel::Verdict verdict = link_.transmit(msg.accounted_bits(), msg.sender, to);
+    if (verdict.dropped) {
+      net->record_drop(msg, to);
+      return;
+    }
+    scheduler_.after(verdict.delay_us,
+                     [net, msg, to, weak = std::weak_ptr<int>(token)] {
+                       if (weak.expired()) return;
+                       net->deposit(msg, to);
+                     });
+  });
+  network.set_round_barrier(
+      [this] { scheduler_.run_until(scheduler_.now() + cfg_.round_timeout_us); });
+  network.set_retry_cap(cfg_.retry_cap);
+  network.set_sniffer([this](const net::Message& msg) {
+    ++frames_;
+    bits_ += msg.accounted_bits();
+  });
+  network.set_drop_observer([this](const net::Message& msg, std::uint32_t) {
+    ++drop_copies_;
+    drop_bits_ += msg.accounted_bits();
+  });
+}
+
+void ProtocolDriver::attach(gka::GroupSession& session) {
+  if (flat_ != nullptr || hier_ != nullptr) {
+    throw std::logic_error("ProtocolDriver: already attached");
+  }
+  flat_ = &session;
+  flat_->set_network_hook([this](net::Network& network) { install(network); });
+}
+
+void ProtocolDriver::attach(cluster::HierarchicalSession& session) {
+  if (flat_ != nullptr || hier_ != nullptr) {
+    throw std::logic_error("ProtocolDriver: already attached");
+  }
+  hier_ = &session;
+  hier_->set_network_hook([this](net::Network& network) { install(network); });
+}
+
+OpOutcome ProtocolDriver::timed(const std::function<bool(OpOutcome&)>& op) {
+  if (flat_ == nullptr && hier_ == nullptr) {
+    throw std::logic_error("ProtocolDriver: no session attached");
+  }
+  OpOutcome outcome;
+  outcome.start_us = scheduler_.now();
+  try {
+    outcome.success = op(outcome);
+  } catch (const std::runtime_error&) {
+    // A protocol run exhausted its retransmission budget (or a dependent
+    // leaf/tier rekey did). The clock still advanced; report failure.
+    outcome.success = false;
+  }
+  outcome.end_us = scheduler_.now();
+  return outcome;
+}
+
+OpOutcome ProtocolDriver::form() {
+  return timed([this](OpOutcome& out) {
+    if (flat_ != nullptr) {
+      const gka::RunResult result = flat_->form();
+      out.rounds = result.rounds;
+      out.retransmissions = result.retransmissions;
+      return result.success;
+    }
+    return hier_->form().success;
+  });
+}
+
+OpOutcome ProtocolDriver::join(std::uint32_t id) {
+  return timed([this, id](OpOutcome& out) {
+    if (flat_ != nullptr) {
+      const gka::RunResult result = flat_->join(id);
+      out.rounds = result.rounds;
+      out.retransmissions = result.retransmissions;
+      return result.success;
+    }
+    return hier_->join(id).success;
+  });
+}
+
+OpOutcome ProtocolDriver::leave(std::uint32_t id) {
+  return timed([this, id](OpOutcome& out) {
+    if (flat_ != nullptr) {
+      const gka::RunResult result = flat_->leave(id);
+      out.rounds = result.rounds;
+      out.retransmissions = result.retransmissions;
+      return result.success;
+    }
+    return hier_->leave(id).success;
+  });
+}
+
+OpOutcome ProtocolDriver::partition(const std::vector<std::uint32_t>& ids) {
+  return timed([this, &ids](OpOutcome& out) {
+    if (flat_ != nullptr) {
+      const gka::RunResult result = flat_->partition(ids);
+      out.rounds = result.rounds;
+      out.retransmissions = result.retransmissions;
+      return result.success;
+    }
+    return hier_->partition(ids).success;
+  });
+}
+
+OpOutcome ProtocolDriver::admit(const std::vector<std::uint32_t>& ids) {
+  return timed([this, &ids](OpOutcome& out) {
+    if (flat_ != nullptr) {
+      bool all = true;
+      for (const std::uint32_t id : ids) {
+        const gka::RunResult result = flat_->join(id);
+        out.rounds += result.rounds;
+        out.retransmissions += result.retransmissions;
+        all = all && result.success;
+      }
+      return all;
+    }
+    // One rekey round for the whole batch: queue everything, flush once.
+    // enqueue_join may auto-flush at batch capacity; that still yields at
+    // most ceil(|ids| / capacity) rekeys instead of |ids|.
+    bool all = true;
+    for (const std::uint32_t id : ids) {
+      if (const auto summary = hier_->enqueue_join(id)) all = all && summary->success;
+    }
+    const cluster::EventSummary final_summary = hier_->flush();
+    return all && final_summary.success;
+  });
+}
+
+std::size_t ProtocolDriver::size() const {
+  return flat_ != nullptr ? flat_->size() : hier_->size();
+}
+
+bool ProtocolDriver::contains(std::uint32_t id) const {
+  if (flat_ != nullptr) {
+    const auto ids = flat_->member_ids();
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  }
+  return hier_->contains(id);
+}
+
+std::vector<std::uint32_t> ProtocolDriver::member_ids() const {
+  return flat_ != nullptr ? flat_->member_ids() : hier_->member_ids();
+}
+
+bool ProtocolDriver::agreed() const {
+  if (flat_ != nullptr) return flat_->has_key();
+  return hier_->all_members_agree();
+}
+
+energy::Ledger ProtocolDriver::member_ledger(std::uint32_t id) const {
+  if (flat_ != nullptr) return flat_->ledger(id);
+  return hier_->member_ledger(id);
+}
+
+std::size_t ProtocolDriver::cluster_count() const {
+  return flat_ != nullptr ? 1 : hier_->cluster_count();
+}
+
+}  // namespace idgka::sim

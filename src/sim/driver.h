@@ -1,0 +1,115 @@
+// Timed protocol driver: runs GKA sessions over the discrete-event engine.
+//
+// The driver attaches to a flat gka::GroupSession or a hierarchical
+// cluster::HierarchicalSession and installs, on every broadcast network the
+// session touches (now and in the future — head-tier rebuilds, cluster
+// splits), three hooks:
+//
+//   * a Transport that prices each (message, receiver) copy through the
+//     LinkModel and schedules its arrival (Network::deposit) on the
+//     Scheduler — or records the drop;
+//   * a RoundBarrier that advances the virtual clock by one round timeout
+//     between a reliable round's transmit and drain phases, so the
+//     protocols run against timeouts and bounded retransmission instead of
+//     lockstep inbox drains;
+//   * sniffer/drop observers that accumulate bits-on-air and lost copies
+//     across the whole run, surviving internal network teardown.
+//
+// A membership operation then executes synchronously while virtual time
+// advances inside it; the OpOutcome captures its start/end timestamps —
+// the key-agreement latency the scenario metrics aggregate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/hierarchical_session.h"
+#include "gka/session.h"
+#include "sim/link.h"
+#include "sim/scheduler.h"
+
+namespace idgka::sim {
+
+struct DriverConfig {
+  LinkConfig link;
+  /// Virtual time one reliable-round attempt waits before the senders
+  /// declare the round lossy and retransmit. Must exceed the worst-case
+  /// copy delay (serialization + latency + jitter) or every round times
+  /// out at least once.
+  SimTime round_timeout_us = 60'000;
+  /// Bounded retransmission: attempts per reliable round before the
+  /// protocol run is declared failed (overrides the protocols' default cap
+  /// on every attached network).
+  int retry_cap = 32;
+};
+
+/// Outcome of one timed membership operation.
+struct OpOutcome {
+  bool success = false;
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+  /// Communication rounds / extra attempts (flat sessions only; the
+  /// hierarchy aggregates many leaf runs and reports 0 here).
+  int rounds = 0;
+  int retransmissions = 0;
+
+  [[nodiscard]] SimTime latency_us() const { return end_us - start_us; }
+};
+
+class ProtocolDriver {
+ public:
+  ProtocolDriver(Scheduler& scheduler, const DriverConfig& config, std::uint64_t seed);
+
+  /// Attaches a session (exactly one, before any traffic flows).
+  void attach(gka::GroupSession& session);
+  void attach(cluster::HierarchicalSession& session);
+
+  // --- Timed membership operations ---
+  OpOutcome form();
+  OpOutcome join(std::uint32_t id);
+  OpOutcome leave(std::uint32_t id);
+  /// Batch departure; one rekey round for the whole set.
+  OpOutcome partition(const std::vector<std::uint32_t>& ids);
+  /// Batch (re-)admission. Hierarchical sessions pay one rekey for the
+  /// whole batch; flat sessions join sequentially inside one timed span.
+  OpOutcome admit(const std::vector<std::uint32_t>& ids);
+
+  // --- Session pass-throughs ---
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool contains(std::uint32_t id) const;
+  [[nodiscard]] std::vector<std::uint32_t> member_ids() const;
+  /// Every current member holds the (same) group key.
+  [[nodiscard]] bool agreed() const;
+  /// Lifetime ledger of a current member (leaf + head tier + retired
+  /// tenures under the hierarchy; current tenure only under a flat
+  /// session, whose departed ledgers are dropped — the BatteryBank banks
+  /// the difference on rejoin).
+  [[nodiscard]] energy::Ledger member_ledger(std::uint32_t id) const;
+  [[nodiscard]] std::size_t cluster_count() const;
+
+  // --- Cumulative on-air accounting ---
+  [[nodiscard]] std::uint64_t frames_on_air() const { return frames_; }
+  [[nodiscard]] std::uint64_t bits_on_air() const { return bits_; }
+  [[nodiscard]] std::uint64_t copies_dropped() const { return drop_copies_; }
+  [[nodiscard]] std::uint64_t bits_dropped() const { return drop_bits_; }
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+  [[nodiscard]] const DriverConfig& config() const { return cfg_; }
+
+ private:
+  void install(net::Network& network);
+  OpOutcome timed(const std::function<bool(OpOutcome&)>& op);
+
+  Scheduler& scheduler_;
+  DriverConfig cfg_;
+  LinkModel link_;
+  gka::GroupSession* flat_ = nullptr;
+  cluster::HierarchicalSession* hier_ = nullptr;
+
+  std::uint64_t frames_ = 0;
+  std::uint64_t bits_ = 0;
+  std::uint64_t drop_copies_ = 0;
+  std::uint64_t drop_bits_ = 0;
+};
+
+}  // namespace idgka::sim

@@ -1,0 +1,102 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace idgka::sim {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value, bool quote) {
+  out += '"';
+  out += key;
+  out += "\":";
+  if (quote) out += '"';
+  out += value;
+  if (quote) out += '"';
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+SimTime percentile_us(std::vector<SimTime> sample, double q) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = q / 100.0 * static_cast<double>(sample.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sample.size()) idx = sample.size() - 1;
+  return sample[idx];
+}
+
+std::string Metrics::to_json() const {
+  std::string out = "{";
+  append_kv(out, "scenario", scenario, true);
+  out += ',';
+  append_kv(out, "topology", topology, true);
+  out += ',';
+  append_kv(out, "seed", std::to_string(seed), false);
+  out += ",\"members\":{";
+  append_kv(out, "initial", std::to_string(members_initial), false);
+  out += ',';
+  append_kv(out, "final", std::to_string(members_final), false);
+  out += ',';
+  append_kv(out, "clusters", std::to_string(clusters_final), false);
+  out += "},\"form\":{";
+  append_kv(out, "success", form_success ? "true" : "false", false);
+  out += ',';
+  append_kv(out, "latency_us", std::to_string(form_latency_us), false);
+  out += "},\"rekeys\":{";
+  append_kv(out, "attempted", std::to_string(rekeys_attempted), false);
+  out += ',';
+  append_kv(out, "completed", std::to_string(rekeys_completed), false);
+  out += ',';
+  append_kv(out, "convergence", fmt_double(convergence()), false);
+  out += ',';
+  append_kv(out, "join", std::to_string(events_join), false);
+  out += ',';
+  append_kv(out, "leave", std::to_string(events_leave), false);
+  out += ',';
+  append_kv(out, "partition", std::to_string(events_partition), false);
+  out += ',';
+  append_kv(out, "merge", std::to_string(events_merge), false);
+  out += "},\"latency_us\":{";
+  append_kv(out, "count", std::to_string(rekey_latencies_us.size()), false);
+  out += ',';
+  append_kv(out, "p50", std::to_string(percentile_us(rekey_latencies_us, 50.0)), false);
+  out += ',';
+  append_kv(out, "p90", std::to_string(percentile_us(rekey_latencies_us, 90.0)), false);
+  out += ',';
+  append_kv(out, "p99", std::to_string(percentile_us(rekey_latencies_us, 99.0)), false);
+  out += ',';
+  append_kv(out, "max", std::to_string(percentile_us(rekey_latencies_us, 100.0)), false);
+  out += "},\"air\":{";
+  append_kv(out, "frames", std::to_string(frames_on_air), false);
+  out += ',';
+  append_kv(out, "bits", std::to_string(bits_on_air), false);
+  out += ',';
+  append_kv(out, "copies_dropped", std::to_string(copies_dropped), false);
+  out += ',';
+  append_kv(out, "bits_dropped", std::to_string(bits_dropped), false);
+  out += "},\"battery\":{";
+  append_kv(out, "deaths", std::to_string(deaths), false);
+  out += ',';
+  append_kv(out, "first_death_us",
+            first_death_us ? std::to_string(*first_death_us) : std::string("null"), false);
+  out += ',';
+  append_kv(out, "energy_total_mj", fmt_double(energy_total_mj), false);
+  out += "},";
+  append_kv(out, "all_members_agree", all_members_agree ? "true" : "false", false);
+  out += ',';
+  append_kv(out, "end_time_us", std::to_string(end_time_us), false);
+  out += '}';
+  return out;
+}
+
+}  // namespace idgka::sim

@@ -1,0 +1,69 @@
+// Per-run scenario metrics and their deterministic JSON serialization.
+//
+// Everything here is a pure function of the scenario config and seeds: no
+// wall-clock time, no pointers, integer microsecond timestamps, and doubles
+// printed with a fixed format — so two same-seed runs emit bit-identical
+// JSON (which the determinism test and the bench assert).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace idgka::sim {
+
+/// Nearest-rank percentile (q in [0, 100]) of an unsorted sample; 0 when
+/// empty.
+[[nodiscard]] SimTime percentile_us(std::vector<SimTime> sample, double q);
+
+struct Metrics {
+  std::string scenario;
+  std::string topology;
+  std::uint64_t seed = 0;
+
+  std::size_t members_initial = 0;
+  std::size_t members_final = 0;
+  std::size_t clusters_final = 0;  ///< 1 for flat topologies
+
+  /// Initial key agreement.
+  bool form_success = false;
+  SimTime form_latency_us = 0;
+
+  /// Membership-event rekeys (everything after form).
+  std::size_t rekeys_attempted = 0;
+  std::size_t rekeys_completed = 0;
+  std::size_t events_join = 0;
+  std::size_t events_leave = 0;
+  std::size_t events_partition = 0;
+  std::size_t events_merge = 0;
+  /// Latency of each completed rekey, in event order.
+  std::vector<SimTime> rekey_latencies_us;
+
+  /// On-air accounting (per transmission, not per copy) and per-copy drops.
+  std::uint64_t frames_on_air = 0;
+  std::uint64_t bits_on_air = 0;
+  std::uint64_t copies_dropped = 0;
+  std::uint64_t bits_dropped = 0;
+
+  /// Battery integration.
+  std::size_t deaths = 0;
+  std::optional<SimTime> first_death_us;
+  double energy_total_mj = 0.0;
+
+  bool all_members_agree = false;
+  SimTime end_time_us = 0;
+
+  [[nodiscard]] double convergence() const {
+    return rekeys_attempted == 0
+               ? 1.0
+               : static_cast<double>(rekeys_completed) / static_cast<double>(rekeys_attempted);
+  }
+
+  /// One-line deterministic JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace idgka::sim

@@ -1,0 +1,275 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+namespace idgka::sim {
+
+namespace {
+
+struct Mobile {
+  double x = 0.0;
+  double y = 0.0;
+  double wx = 0.0;
+  double wy = 0.0;
+  bool in_range = true;
+};
+
+/// Everything one run owns; lives exactly as long as run().
+struct Run {
+  const ScenarioConfig& cfg;
+  Metrics metrics;
+
+  gka::Authority authority;
+  Scheduler scheduler;
+  ProtocolDriver driver;
+  std::optional<gka::GroupSession> flat;
+  std::optional<cluster::HierarchicalSession> hier;
+  BatteryBank bank;
+
+  mpint::XoshiroRng rng;
+  std::map<std::uint32_t, Mobile> mobiles;
+  std::set<std::uint32_t> known_ids;
+  SimTime last_move_us = 0;
+
+  explicit Run(const ScenarioConfig& config)
+      : cfg(config),
+        authority(config.profile, config.seed),
+        driver(scheduler, config.driver, config.seed ^ 0x73696d647276ULL),
+        bank(config.power),
+        rng(config.seed ^ 0x776179706f696e74ULL) {}
+
+  double uniform() { return rng.next_double(); }
+
+  [[nodiscard]] double base() const { return cfg.waypoint.field_m / 2.0; }
+
+  [[nodiscard]] bool in_range(const Mobile& m) const {
+    const double dx = m.x - base();
+    const double dy = m.y - base();
+    return std::sqrt(dx * dx + dy * dy) <= cfg.waypoint.range_m;
+  }
+
+  void place(std::uint32_t id, bool force_in_range) {
+    Mobile m;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      m.x = uniform() * cfg.waypoint.field_m;
+      m.y = uniform() * cfg.waypoint.field_m;
+      if (!force_in_range || in_range(m)) break;
+    }
+    m.wx = uniform() * cfg.waypoint.field_m;
+    m.wy = uniform() * cfg.waypoint.field_m;
+    m.in_range = in_range(m);
+    mobiles[id] = m;
+  }
+
+  void move_all(SimTime now) {
+    const double dt = static_cast<double>(now - last_move_us) / static_cast<double>(kUsPerSec);
+    last_move_us = now;
+    if (dt <= 0.0) return;
+    for (auto& [id, m] : mobiles) {
+      double budget = cfg.waypoint.speed_mps * dt;
+      for (int leg = 0; leg < 8 && budget > 0.0; ++leg) {
+        const double dx = m.wx - m.x;
+        const double dy = m.wy - m.y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist <= budget) {
+          m.x = m.wx;
+          m.y = m.wy;
+          budget -= dist;
+          m.wx = uniform() * cfg.waypoint.field_m;
+          m.wy = uniform() * cfg.waypoint.field_m;
+        } else {
+          m.x += dx / dist * budget;
+          m.y += dy / dist * budget;
+          budget = 0.0;
+        }
+      }
+      m.in_range = in_range(m);
+    }
+  }
+
+  void register_node(std::uint32_t id) {
+    if (known_ids.insert(id).second) {
+      bank.add_node(id, scheduler.now());
+      if (cfg.waypoint.enabled) place(id, /*force_in_range=*/true);
+    }
+  }
+
+  void record_rekey(const OpOutcome& outcome) {
+    ++metrics.rekeys_attempted;
+    if (outcome.success && driver.agreed()) {
+      ++metrics.rekeys_completed;
+      metrics.rekey_latencies_us.push_back(outcome.latency_us());
+    }
+  }
+
+  /// Folds every known node's energy up to `now`; returns in-session nodes
+  /// that just died (they must be removed from the group).
+  std::vector<std::uint32_t> sample_batteries(SimTime now) {
+    std::vector<std::uint32_t> dead_members;
+    for (const std::uint32_t id : known_ids) {
+      const bool member = driver.contains(id);
+      const bool died = member ? bank.update(id, driver.member_ledger(id), now)
+                               : bank.tick(id, now);
+      if (died && member) dead_members.push_back(id);
+    }
+    return dead_members;
+  }
+
+  void remove_members(std::vector<std::uint32_t> ids, std::size_t& event_counter) {
+    std::erase_if(ids, [&](std::uint32_t id) { return !driver.contains(id); });
+    // Protocols need >= 2 survivors; keep the overflow in the group.
+    while (!ids.empty() && driver.size() - ids.size() < 2) ids.pop_back();
+    if (ids.empty()) return;
+    const OpOutcome outcome =
+        ids.size() == 1 ? driver.leave(ids.front()) : driver.partition(ids);
+    event_counter += ids.size();
+    record_rekey(outcome);
+  }
+
+  void admit_members(std::vector<std::uint32_t> ids, std::size_t& event_counter) {
+    std::erase_if(ids, [&](std::uint32_t id) {
+      register_node(id);
+      return driver.contains(id) || !bank.alive(id);
+    });
+    if (ids.empty()) return;
+    const OpOutcome outcome =
+        ids.size() == 1 ? driver.join(ids.front()) : driver.admit(ids);
+    event_counter += ids.size();
+    record_rekey(outcome);
+  }
+
+  void apply_trace(const TraceEvent& event) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kJoin:
+        admit_members({event.ids.front()}, metrics.events_join);
+        break;
+      case TraceEvent::Kind::kLeave:
+        remove_members({event.ids.front()}, metrics.events_leave);
+        break;
+      case TraceEvent::Kind::kPartition:
+        remove_members(event.ids, metrics.events_partition);
+        break;
+      case TraceEvent::Kind::kMerge:
+        admit_members(event.ids, metrics.events_merge);
+        break;
+    }
+  }
+
+  void apply_mobility_churn() {
+    std::vector<std::uint32_t> outs;
+    std::vector<std::uint32_t> ins;
+    for (const auto& [id, m] : mobiles) {
+      if (!bank.alive(id)) continue;
+      const bool member = driver.contains(id);
+      if (member && !m.in_range) outs.push_back(id);
+      if (!member && m.in_range) ins.push_back(id);
+    }
+    remove_members(std::move(outs), metrics.events_leave);
+    admit_members(std::move(ins), metrics.events_join);
+  }
+
+  void handle_deaths(const std::vector<std::uint32_t>& dead_members) {
+    remove_members(dead_members, metrics.events_leave);
+  }
+
+  void finalize() {
+    metrics.members_final = driver.size();
+    metrics.clusters_final = driver.cluster_count();
+    metrics.all_members_agree = driver.agreed();
+    metrics.frames_on_air = driver.frames_on_air();
+    metrics.bits_on_air = driver.bits_on_air();
+    metrics.copies_dropped = driver.copies_dropped();
+    metrics.bits_dropped = driver.bits_dropped();
+    metrics.deaths = bank.deaths();
+    metrics.first_death_us = bank.first_death_us();
+    metrics.energy_total_mj = bank.total_consumed_mj();
+    metrics.end_time_us = scheduler.now();
+  }
+};
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioConfig config) : cfg_(std::move(config)) {
+  if (cfg_.initial_members < 2) {
+    throw std::invalid_argument("Scenario: need at least 2 initial members");
+  }
+  if (cfg_.topology == Topology::kHierarchical) cfg_.cluster.validate();
+  std::stable_sort(cfg_.trace.begin(), cfg_.trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at_us < b.at_us; });
+  for (const TraceEvent& event : cfg_.trace) {
+    if (event.ids.empty()) throw std::invalid_argument("Scenario: trace event without ids");
+  }
+}
+
+Metrics ScenarioRunner::run() {
+  Run run(cfg_);
+  run.metrics.scenario = cfg_.name;
+  run.metrics.topology = cfg_.topology == Topology::kFlat ? "flat" : "hierarchical";
+  run.metrics.seed = cfg_.seed;
+  run.metrics.members_initial = cfg_.initial_members;
+
+  std::vector<std::uint32_t> ids(cfg_.initial_members);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = cfg_.base_id + static_cast<std::uint32_t>(i);
+  }
+  if (cfg_.topology == Topology::kFlat) {
+    run.flat.emplace(run.authority, cfg_.cluster.scheme, ids, cfg_.seed);
+    run.driver.attach(*run.flat);
+  } else {
+    run.hier.emplace(run.authority, cfg_.cluster, ids, cfg_.seed);
+    run.driver.attach(*run.hier);
+  }
+  for (const std::uint32_t id : ids) run.register_node(id);
+
+  const OpOutcome formed = run.driver.form();
+  run.metrics.form_success = formed.success;
+  run.metrics.form_latency_us = formed.latency_us();
+  if (!formed.success) {
+    run.finalize();
+    return run.metrics;
+  }
+  run.handle_deaths(run.sample_batteries(run.scheduler.now()));
+
+  const bool ticking =
+      cfg_.waypoint.enabled || (cfg_.power.depletes() && cfg_.power.idle_mw > 0.0);
+  SimTime next_tick = ticking ? cfg_.waypoint.tick_us : 0;
+  std::size_t trace_idx = 0;
+  run.last_move_us = run.scheduler.now();
+
+  while (!(cfg_.stop_on_first_death && run.bank.deaths() > 0)) {
+    const bool have_trace = trace_idx < cfg_.trace.size();
+    const bool have_tick = ticking && next_tick <= cfg_.duration_us;
+    const bool trace_due =
+        have_trace && cfg_.trace[trace_idx].at_us <= cfg_.duration_us &&
+        (!have_tick || cfg_.trace[trace_idx].at_us <= next_tick);
+    if (trace_due) {
+      const TraceEvent& event = cfg_.trace[trace_idx++];
+      run.scheduler.run_until(event.at_us);
+      run.apply_trace(event);
+    } else if (have_tick) {
+      run.scheduler.run_until(next_tick);
+      next_tick += cfg_.waypoint.tick_us;
+      if (cfg_.waypoint.enabled) {
+        run.move_all(run.scheduler.now());
+        run.apply_mobility_churn();
+      }
+    } else {
+      break;
+    }
+    run.handle_deaths(run.sample_batteries(run.scheduler.now()));
+  }
+
+  // A lifetime run ends at the first death; otherwise idle out the clock.
+  if (!(cfg_.stop_on_first_death && run.bank.deaths() > 0)) {
+    run.scheduler.run_until(cfg_.duration_us);
+    run.handle_deaths(run.sample_batteries(run.scheduler.now()));
+  }
+  run.finalize();
+  return run.metrics;
+}
+
+}  // namespace idgka::sim

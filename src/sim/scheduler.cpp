@@ -1,0 +1,29 @@
+#include "sim/scheduler.h"
+
+namespace idgka::sim {
+
+void Scheduler::at(SimTime when, std::function<void()> fn) {
+  queue_.emplace(std::make_pair(when < now_ ? now_ : when, seq_++), std::move(fn));
+}
+
+void Scheduler::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.begin()->first.first <= horizon) {
+    auto node = queue_.extract(queue_.begin());
+    if (node.key().first > now_) now_ = node.key().first;
+    ++executed_;
+    node.mapped()();
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+SimTime Scheduler::run_all() {
+  while (!queue_.empty()) {
+    auto node = queue_.extract(queue_.begin());
+    if (node.key().first > now_) now_ = node.key().first;
+    ++executed_;
+    node.mapped()();
+  }
+  return now_;
+}
+
+}  // namespace idgka::sim

@@ -1,0 +1,55 @@
+// Deterministic discrete-event scheduler.
+//
+// A virtual clock in microseconds plus an ordered event queue. Events with
+// equal timestamps run in insertion order (a strictly increasing sequence
+// number breaks ties), so a whole simulation is a pure function of its
+// seeds — the determinism the scenario metrics tests rely on.
+//
+// The protocol layer runs synchronously; time advances *inside* a protocol
+// call through Network round barriers that invoke run_until(). Event
+// callbacks themselves must therefore never re-enter the protocol layer —
+// in this codebase they only ever deposit in-flight message copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace idgka::sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kUsPerMs = 1'000;
+inline constexpr SimTime kUsPerSec = 1'000'000;
+
+class Scheduler {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now for past times).
+  void at(SimTime when, std::function<void()> fn);
+  /// Schedules `fn` at now() + delay.
+  void after(SimTime delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs every event with timestamp <= horizon in (time, insertion) order
+  /// — including events those events schedule inside the window — then
+  /// advances the clock to `horizon` (never backwards).
+  void run_until(SimTime horizon);
+
+  /// Drains the queue completely; returns the final clock value.
+  SimTime run_all();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  /// (time, seq) -> callback; unique keys make this a stable priority queue.
+  std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>> queue_;
+};
+
+}  // namespace idgka::sim

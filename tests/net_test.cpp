@@ -120,8 +120,89 @@ TEST(Network, LossInjectionDropsDeterministically) {
   EXPECT_EQ(pattern_a, pattern_b);  // same seed, same drops
   EXPECT_GT(a.dropped(), 20U);      // ~50 expected
   EXPECT_LT(a.dropped(), 80U);
-  // Receiver is not charged for dropped frames.
+  // Receiver is not charged for dropped frames, but they are counted.
   EXPECT_EQ(a.stats(2).rx_messages + a.dropped(), 100U);
+  EXPECT_EQ(a.stats(2).dropped_messages, a.dropped());
+  EXPECT_EQ(a.total_stats().dropped_messages, a.dropped());
+}
+
+TEST(Network, BroadcastSkipsSenderInGroup) {
+  // Regression: a sender listed in its own receiver group is skipped — it
+  // is charged tx exactly once and never receives or pays rx for its own
+  // frame, with or without loss injection.
+  Network net(0.5, /*seed=*/7);
+  net.add_node(1);
+  net.add_node(2);
+  for (int i = 0; i < 50; ++i) net.broadcast(make_msg(1, 8), {1, 2});
+  EXPECT_EQ(net.pending(1), 0U);
+  EXPECT_EQ(net.stats(1).tx_messages, 50U);
+  EXPECT_EQ(net.stats(1).rx_messages, 0U);
+  EXPECT_EQ(net.stats(1).rx_bits, 0U);
+  EXPECT_EQ(net.stats(1).dropped_messages, 0U);  // no copy ever addressed to 1
+}
+
+TEST(Network, UnknownReceiverAlwaysThrowsUnderLoss) {
+  // Regression: the unknown-recipient check must not depend on the loss
+  // draw — every attempt throws, not just the delivered fraction.
+  Network net(0.9, /*seed=*/3);
+  net.add_node(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_THROW(net.broadcast(make_msg(1, 8), {9}), std::invalid_argument);
+  }
+}
+
+TEST(Network, DropObserverSeesEveryLoss) {
+  Network net(0.5, /*seed=*/11);
+  net.add_node(1);
+  net.add_node(2);
+  std::uint64_t observed = 0;
+  std::uint64_t observed_bits = 0;
+  net.set_drop_observer([&](const Message& m, std::uint32_t to) {
+    ++observed;
+    observed_bits += m.accounted_bits();
+    EXPECT_EQ(to, 2U);
+  });
+  for (int i = 0; i < 100; ++i) net.broadcast(make_msg(1, 8), {2});
+  EXPECT_GT(observed, 0U);
+  EXPECT_EQ(observed, net.dropped());
+  EXPECT_EQ(observed_bits, net.dropped() * 8);
+}
+
+TEST(Network, TransportInterceptsAndDepositDelivers) {
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  std::vector<std::pair<Message, std::uint32_t>> in_flight;
+  net.set_transport([&](const Message& m, std::uint32_t to) { in_flight.emplace_back(m, to); });
+
+  net.broadcast(make_msg(1, 64), {2});
+  EXPECT_EQ(net.pending(2), 0U);  // intercepted, not delivered
+  EXPECT_EQ(net.stats(1).tx_bits, 64U);  // sender charged at hand-off
+  ASSERT_EQ(in_flight.size(), 1U);
+
+  net.deposit(in_flight[0].first, in_flight[0].second);
+  EXPECT_EQ(net.pending(2), 1U);
+  EXPECT_EQ(net.stats(2).rx_bits, 64U);
+
+  // A receiver that departed while the copy was in flight is a drop, not
+  // an error.
+  net.broadcast(make_msg(1, 64), {2});
+  net.remove_node(2);
+  ASSERT_EQ(in_flight.size(), 2U);
+  net.deposit(in_flight[1].first, in_flight[1].second);
+  EXPECT_EQ(net.dropped(), 1U);
+}
+
+TEST(Network, RoundBarrierAndRetryCapHooks) {
+  Network net;
+  net.await_delivery();  // no barrier installed: no-op
+  int barrier_calls = 0;
+  net.set_round_barrier([&] { ++barrier_calls; });
+  net.await_delivery();
+  EXPECT_EQ(barrier_calls, 1);
+  EXPECT_FALSE(net.retry_cap().has_value());
+  net.set_retry_cap(3);
+  EXPECT_EQ(net.retry_cap().value(), 3);
 }
 
 TEST(Network, RejectsInvalidLossRate) {

@@ -1,0 +1,325 @@
+// Discrete-event engine tests: scheduler ordering, link model, battery
+// integration, the timed protocol driver over flat and hierarchical
+// sessions, and scenario determinism (same seed => bit-identical JSON).
+#include <gtest/gtest.h>
+
+#include "sim/battery.h"
+#include "sim/driver.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/scheduler.h"
+
+namespace idgka::sim {
+namespace {
+
+// ---------------------------------------------------------------- Scheduler
+
+TEST(Scheduler, RunsEventsInTimeThenInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(200, [&] { order.push_back(3); });
+  sched.at(100, [&] { order.push_back(1); });
+  sched.at(100, [&] { order.push_back(2); });  // tie: insertion order
+  sched.run_until(150);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now(), 150U);
+  EXPECT_EQ(sched.pending(), 1U);
+  sched.run_until(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.executed(), 3U);
+}
+
+TEST(Scheduler, EventsMayScheduleWithinTheWindow) {
+  Scheduler sched;
+  std::vector<SimTime> stamps;
+  sched.at(10, [&] {
+    stamps.push_back(sched.now());
+    sched.after(5, [&] { stamps.push_back(sched.now()); });
+  });
+  sched.run_until(100);
+  EXPECT_EQ(stamps, (std::vector<SimTime>{10, 15}));
+  EXPECT_EQ(sched.now(), 100U);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler sched;
+  sched.run_until(50);
+  SimTime fired = 0;
+  sched.at(10, [&] { fired = sched.now(); });  // in the past: runs "now"
+  EXPECT_EQ(sched.run_all(), 50U);
+  EXPECT_EQ(fired, 50U);
+}
+
+// --------------------------------------------------------------- LinkModel
+
+TEST(Link, DelayIsSerializationPlusLatency) {
+  LinkConfig cfg;  // 100 kbps, 2 ms latency, no jitter, no loss
+  LinkModel link(cfg, 1);
+  const auto verdict = link.transmit(1000, 1, 2);
+  EXPECT_FALSE(verdict.dropped);
+  EXPECT_EQ(verdict.delay_us, 10'000U + 2'000U);  // 1000 bits at 100 kbps
+}
+
+TEST(Link, BurstyFactoryHitsTargetAverage) {
+  const LinkConfig cfg = LinkConfig::bursty(0.05);
+  EXPECT_NEAR(cfg.average_loss(), 0.05, 1e-12);
+
+  LinkModel link(cfg, 42);
+  for (int i = 0; i < 20'000; ++i) (void)link.transmit(512, 1, 2);
+  const double rate = static_cast<double>(link.copies_dropped()) /
+                      static_cast<double>(link.copies_offered());
+  EXPECT_GT(rate, 0.03);
+  EXPECT_LT(rate, 0.07);
+}
+
+TEST(Link, DeterministicUnderSeed) {
+  LinkModel a(LinkConfig::bursty(0.2), 7);
+  LinkModel b(LinkConfig::bursty(0.2), 7);
+  for (int i = 0; i < 500; ++i) {
+    const auto va = a.transmit(256, 1, 2);
+    const auto vb = b.transmit(256, 1, 2);
+    EXPECT_EQ(va.dropped, vb.dropped);
+    EXPECT_EQ(va.delay_us, vb.delay_us);
+  }
+}
+
+TEST(Link, RejectsInvalidConfigs) {
+  EXPECT_THROW(LinkConfig::bursty(0.5), std::invalid_argument);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 0.0;
+  EXPECT_THROW(LinkModel(cfg, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- BatteryBank
+
+TEST(Battery, IdleDrainKillsAtCapacity) {
+  PowerConfig power;
+  power.capacity_mj = 10.0;
+  power.idle_mw = 1000.0;  // 1 mJ per ms
+  BatteryBank bank(power);
+  bank.add_node(1, 0);
+  EXPECT_FALSE(bank.tick(1, 5'000));  // 5 mJ consumed
+  EXPECT_TRUE(bank.alive(1));
+  EXPECT_TRUE(bank.tick(1, 10'000));  // crosses 10 mJ: just died
+  EXPECT_FALSE(bank.alive(1));
+  EXPECT_EQ(bank.deaths(), 1U);
+  EXPECT_EQ(bank.first_death_us().value(), 10'000U);
+  // Dead nodes stop draining.
+  EXPECT_FALSE(bank.tick(1, 20'000));
+  EXPECT_DOUBLE_EQ(bank.consumed_mj(1), 10.0);
+}
+
+TEST(Battery, LedgerResetsAreBanked) {
+  PowerConfig power;  // infinite capacity
+  BatteryBank bank(power);
+  bank.add_node(1, 0);
+  energy::Ledger big;
+  big.tx_bits = 100'000;
+  bank.update(1, big, 1'000);
+  const double after_big = bank.consumed_mj(1);
+  EXPECT_GT(after_big, 0.0);
+  // A shrunken ledger means the member's session state was rebuilt; the
+  // integral stays continuous — neither dropping the old tenure nor
+  // double-counting the share the fresh ledger still holds.
+  energy::Ledger small;
+  small.tx_bits = 1'000;
+  bank.update(1, small, 2'000);
+  EXPECT_NEAR(bank.consumed_mj(1), after_big, 1e-9);
+  // ...and the fresh tenure accrues on top of the banked one.
+  energy::Ledger grown = small;
+  grown.tx_bits = 50'000;
+  bank.update(1, grown, 3'000);
+  EXPECT_GT(bank.consumed_mj(1), after_big);
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(Metrics, NearestRankPercentiles) {
+  const std::vector<SimTime> sample{40, 10, 30, 20};
+  EXPECT_EQ(percentile_us(sample, 50.0), 20U);
+  EXPECT_EQ(percentile_us(sample, 90.0), 40U);
+  EXPECT_EQ(percentile_us(sample, 100.0), 40U);
+  EXPECT_EQ(percentile_us({}, 50.0), 0U);
+}
+
+// ----------------------------------------------------- Timed flat sessions
+
+TEST(Driver, FlatFormAdvancesVirtualTime) {
+  gka::Authority authority(gka::SecurityProfile::kTiny, 2024);
+  Scheduler sched;
+  DriverConfig cfg;
+  ProtocolDriver driver(sched, cfg, 5);
+  gka::GroupSession session(authority, gka::Scheme::kProposed, {1, 2, 3, 4, 5, 6}, 42);
+  driver.attach(session);
+
+  const OpOutcome formed = driver.form();
+  ASSERT_TRUE(formed.success);
+  EXPECT_TRUE(session.has_key());
+  EXPECT_EQ(formed.retransmissions, 0);  // lossless links
+  EXPECT_GE(formed.rounds, 2);
+  // Each reliable round costs exactly one timeout on a lossless link.
+  EXPECT_EQ(formed.latency_us(),
+            static_cast<SimTime>(formed.rounds) * cfg.round_timeout_us);
+  EXPECT_GT(driver.frames_on_air(), 0U);
+  EXPECT_GT(driver.bits_on_air(), 0U);
+  EXPECT_EQ(driver.copies_dropped(), 0U);
+  EXPECT_TRUE(driver.agreed());
+}
+
+TEST(Driver, FlatRetransmitsThroughBurstyLoss) {
+  gka::Authority authority(gka::SecurityProfile::kTiny, 2024);
+  Scheduler sched;
+  DriverConfig cfg;
+  cfg.link = LinkConfig::bursty(0.15);
+  ProtocolDriver driver(sched, cfg, 9);
+  gka::GroupSession session(authority, gka::Scheme::kProposed, {1, 2, 3, 4, 5, 6, 7, 8}, 42);
+  driver.attach(session);
+
+  const OpOutcome formed = driver.form();
+  ASSERT_TRUE(formed.success);
+  EXPECT_GT(formed.retransmissions, 0);  // loss forced extra attempts
+  EXPECT_GT(driver.copies_dropped(), 0U);
+  // Retransmission rounds cost additional timeouts.
+  EXPECT_GT(formed.latency_us(),
+            static_cast<SimTime>(formed.rounds) * cfg.round_timeout_us);
+
+  const OpOutcome joined = driver.join(99);
+  EXPECT_TRUE(joined.success);
+  const OpOutcome left = driver.leave(3);
+  EXPECT_TRUE(left.success);
+  EXPECT_TRUE(driver.agreed());
+}
+
+// --------------------------------------------- Timed hierarchical sessions
+
+TEST(Driver, HierarchicalChurnOverBurstyLinks) {
+  gka::Authority authority(gka::SecurityProfile::kTiny, 2024);
+  Scheduler sched;
+  DriverConfig cfg;
+  cfg.link = LinkConfig::bursty(0.05);
+  ProtocolDriver driver(sched, cfg, 17);
+  cluster::ClusterConfig cluster_cfg;
+  cluster_cfg.min_cluster = 4;
+  cluster_cfg.max_cluster = 8;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < 24; ++i) ids.push_back(100 + i);
+  cluster::HierarchicalSession session(authority, cluster_cfg, ids, 7);
+  driver.attach(session);
+
+  const OpOutcome formed = driver.form();
+  ASSERT_TRUE(formed.success);
+  EXPECT_GT(formed.latency_us(), 0U);
+  EXPECT_TRUE(session.all_members_agree());
+
+  // Churn: joins force splits eventually; the new networks (head-tier
+  // rebuilds, split offshoots) must inherit the timed hooks.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const OpOutcome join = driver.join(500 + i);
+    ASSERT_TRUE(join.success) << "join " << i;
+    EXPECT_GT(join.latency_us(), 0U);
+  }
+  const OpOutcome part = driver.partition({101, 102, 103});
+  ASSERT_TRUE(part.success);
+  EXPECT_TRUE(session.all_members_agree());
+  EXPECT_GT(driver.copies_dropped(), 0U);
+
+  // member_ledger covers heads (leaf + tier) and plain members (leaf only).
+  const auto heads = session.cluster_heads();
+  const energy::Ledger head_ledger = session.member_ledger(heads.front());
+  EXPECT_GT(head_ledger.tx_bits, 0U);
+  EXPECT_THROW((void)session.member_ledger(0xDEAD), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Scenarios
+
+ScenarioConfig churn_scenario() {
+  ScenarioConfig cfg;
+  cfg.name = "determinism";
+  cfg.topology = Topology::kHierarchical;
+  cfg.initial_members = 16;
+  cfg.base_id = 1000;
+  cfg.seed = 77;
+  cfg.duration_us = 120 * kUsPerSec;
+  cfg.driver.link = LinkConfig::bursty(0.05);
+  cfg.cluster.min_cluster = 4;
+  cfg.cluster.max_cluster = 8;
+  cfg.trace = {
+      {5 * kUsPerSec, TraceEvent::Kind::kJoin, {2000}},
+      {10 * kUsPerSec, TraceEvent::Kind::kJoin, {2001}},
+      {20 * kUsPerSec, TraceEvent::Kind::kLeave, {1003}},
+      {40 * kUsPerSec, TraceEvent::Kind::kPartition, {1004, 1005, 1006}},
+      {60 * kUsPerSec, TraceEvent::Kind::kMerge, {1004, 1005, 1006}},
+  };
+  return cfg;
+}
+
+TEST(Scenario, SameSeedSameTraceBitIdenticalJson) {
+  const ScenarioConfig cfg = churn_scenario();
+  const Metrics first = ScenarioRunner(cfg).run();
+  const Metrics second = ScenarioRunner(cfg).run();
+  EXPECT_FALSE(first.to_json().empty());
+  EXPECT_EQ(first.to_json(), second.to_json());
+
+  EXPECT_TRUE(first.form_success);
+  EXPECT_EQ(first.rekeys_attempted, 5U);
+  EXPECT_EQ(first.rekeys_completed, 5U);
+  EXPECT_TRUE(first.all_members_agree);
+  EXPECT_EQ(first.members_final, 17U);  // 16 + 2 joins - 1 leave - 3 + 3 re-admitted
+}
+
+TEST(Scenario, DifferentSeedDivergesEventually) {
+  ScenarioConfig cfg = churn_scenario();
+  const Metrics a = ScenarioRunner(cfg).run();
+  cfg.seed = 78;
+  const Metrics b = ScenarioRunner(cfg).run();
+  // Different loss pattern => different air totals (overwhelmingly likely
+  // and — because runs are deterministic — stable for these two seeds).
+  EXPECT_NE(a.to_json(), b.to_json());
+}
+
+TEST(Scenario, FlatTopologyAndWaypointChurn) {
+  ScenarioConfig cfg;
+  cfg.name = "waypoint";
+  cfg.topology = Topology::kFlat;
+  cfg.initial_members = 8;
+  cfg.seed = 5;
+  cfg.duration_us = 60 * kUsPerSec;
+  cfg.waypoint.enabled = true;
+  cfg.waypoint.field_m = 600.0;
+  cfg.waypoint.range_m = 220.0;
+  cfg.waypoint.speed_mps = 40.0;
+  cfg.waypoint.tick_us = 5 * kUsPerSec;
+  const Metrics metrics = ScenarioRunner(cfg).run();
+  EXPECT_TRUE(metrics.form_success);
+  EXPECT_GE(metrics.members_final, 2U);
+  // With range << field and fast nodes, churn must have happened (stable:
+  // the run is deterministic under the fixed seed).
+  EXPECT_GT(metrics.events_join + metrics.events_leave, 0U);
+  // Operations started inside the window may finish past it; the clock
+  // never ends before the configured duration.
+  EXPECT_GE(metrics.end_time_us, cfg.duration_us);
+}
+
+TEST(Scenario, BatteryDepletionStopsLifetimeRun) {
+  ScenarioConfig cfg;
+  cfg.name = "lifetime";
+  cfg.topology = Topology::kHierarchical;
+  cfg.cluster.min_cluster = 2;
+  cfg.cluster.max_cluster = 4;
+  cfg.initial_members = 8;
+  cfg.seed = 3;
+  cfg.duration_us = 600 * kUsPerSec;
+  cfg.stop_on_first_death = true;
+  cfg.power.capacity_mj = 1.0;  // far below one GKA's radio cost
+  cfg.power.idle_mw = 1.0;
+  const Metrics metrics = ScenarioRunner(cfg).run();
+  EXPECT_TRUE(metrics.form_success);
+  EXPECT_GE(metrics.deaths, 1U);
+  ASSERT_TRUE(metrics.first_death_us.has_value());
+  EXPECT_LT(metrics.end_time_us, cfg.duration_us);
+  EXPECT_GT(metrics.energy_total_mj, 0.0);
+}
+
+}  // namespace
+}  // namespace idgka::sim
