@@ -14,7 +14,8 @@ Curve::Curve(std::string name, BigInt p, BigInt a, BigInt b, Point g, BigInt n, 
       b_(std::move(b)),
       g_(std::move(g)),
       n_(std::move(n)),
-      h_(std::move(h)) {
+      h_(std::move(h)),
+      fctx_(p_) {
   if (!is_on_curve(g_)) throw std::invalid_argument("Curve: generator not on curve");
 }
 
@@ -30,6 +31,10 @@ BigInt Curve::fsub(const BigInt& x, const BigInt& y) const {
   return r;
 }
 
+// Measured (bench_sim_scale): for the small fields the curves live in, one
+// schoolbook multiply + reduction beats the context's to/from-Montgomery
+// round trip per single multiply, so fmul stays off the context; fctx_
+// serves the exponentiation-shaped work (square roots in MapToPoint).
 BigInt Curve::fmul(const BigInt& x, const BigInt& y) const { return (x * y).mod(p_); }
 
 bool Curve::is_on_curve(const Point& pt) const {
@@ -51,7 +56,7 @@ Curve::Jac Curve::to_jac(const Point& pt) const {
 
 Point Curve::from_jac(const Jac& j) const {
   if (j.z.is_zero()) return Point::at_infinity();
-  const BigInt z_inv = mpint::mod_inverse(j.z, p_);
+  const BigInt z_inv = fctx_.inv(j.z);
   const BigInt z2 = fmul(z_inv, z_inv);
   return Point{fmul(j.x, z2), fmul(j.y, fmul(z2, z_inv)), false};
 }

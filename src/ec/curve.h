@@ -9,6 +9,7 @@
 #include <string>
 
 #include "mpint/bigint.h"
+#include "mpint/mod_context.h"
 #include "mpint/random.h"
 
 namespace idgka::ec {
@@ -43,6 +44,12 @@ class Curve {
   [[nodiscard]] const BigInt& cofactor() const { return h_; }
   /// Field element byte width.
   [[nodiscard]] std::size_t field_bytes() const { return (p_.bit_length() + 7) / 8; }
+  /// Cached modular context for the base field F_p — the arithmetic seam
+  /// for exponentiation-shaped field work (e.g. MapToPoint square roots via
+  /// mpint::sqrt_mod_p3(ctx, ...)) and inversion. Single field multiplies
+  /// stay on schoolbook mul + reduce, which measures faster than a
+  /// Montgomery round trip at these sizes.
+  [[nodiscard]] const mpint::ModContext& field() const { return fctx_; }
 
   /// Is `pt` on the curve (infinity counts as on-curve)?
   [[nodiscard]] bool is_on_curve(const Point& pt) const;
@@ -82,6 +89,7 @@ class Curve {
   BigInt p_, a_, b_;
   Point g_;
   BigInt n_, h_;
+  mpint::ModContext fctx_;  // per-curve field context (Montgomery constants)
 };
 
 /// Named curves used by the benchmarks and baselines.

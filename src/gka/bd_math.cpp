@@ -4,27 +4,26 @@
 
 namespace idgka::gka::bd {
 
-BigInt compute_x(const SystemParams& params, const BigInt& z_next, const BigInt& z_prev,
+BigInt compute_x(const GroupCtx& grp, const BigInt& z_next, const BigInt& z_prev,
                  const BigInt& r) {
-  const auto& mp = *params.mont_p;
-  const BigInt ratio = mp.mul(z_next, mpint::mod_inverse(z_prev, params.grp.p));
-  return mp.pow(ratio, r);
+  const mpint::ModContext& mp = grp.p;
+  const BigInt ratio = mp.mul(z_next, mp.inv(z_prev));
+  return mp.exp(ratio, r);
 }
 
-BigInt compute_key(const SystemParams& params, std::span<const BigInt> z,
+BigInt compute_key(const GroupCtx& grp, std::span<const BigInt> z,
                    std::span<const BigInt> x, std::size_t index, const BigInt& r) {
   const std::size_t n = z.size();
   if (x.size() != n || n < 2 || index >= n) {
     throw std::invalid_argument("bd::compute_key: inconsistent ring sizes");
   }
-  const auto& mp = *params.mont_p;
-  const BigInt& q = params.grp.q;
+  const mpint::ModContext& mp = grp.p;
 
   // K = z_{i-1}^{n r_i} * prod_{j=0}^{n-2} X_{i+j}^{n-1-j}
   // The product is accumulated as prod of running prefixes:
   //   prod_j prod_{k<=j} X_{i+k} = prod_k X_{i+k}^{n-1-k}.
-  const BigInt exponent = (BigInt{static_cast<std::uint64_t>(n)} * r).mod(q);
-  BigInt key = mp.pow(z[(index + n - 1) % n], exponent);
+  const BigInt exponent = (BigInt{static_cast<std::uint64_t>(n)} * r).mod(grp.q);
+  BigInt key = mp.exp(z[(index + n - 1) % n], exponent);
   BigInt prefix{1};
   for (std::size_t j = 0; j + 1 < n; ++j) {
     prefix = mp.mul(prefix, x[(index + j) % n]);
@@ -33,21 +32,21 @@ BigInt compute_key(const SystemParams& params, std::span<const BigInt> z,
   return key;
 }
 
-bool lemma1_holds(const SystemParams& params, std::span<const BigInt> x) {
-  const auto& mp = *params.mont_p;
+bool lemma1_holds(const GroupCtx& grp, std::span<const BigInt> x) {
+  const mpint::ModContext& mp = grp.p;
   BigInt prod{1};
   for (const BigInt& xi : x) prod = mp.mul(prod, xi);
   return prod.is_one();
 }
 
-BigInt direct_key(const SystemParams& params, std::span<const BigInt> r) {
+BigInt direct_key(const GroupCtx& grp, std::span<const BigInt> r) {
   const std::size_t n = r.size();
   if (n < 2) throw std::invalid_argument("bd::direct_key: need at least 2 members");
   BigInt exp{};
   for (std::size_t i = 0; i < n; ++i) {
-    exp = (exp + r[i] * r[(i + 1) % n]).mod(params.grp.q);
+    exp = (exp + r[i] * r[(i + 1) % n]).mod(grp.q);
   }
-  return params.mont_p->pow(params.grp.g, exp);
+  return grp.gpow(exp);
 }
 
 }  // namespace idgka::gka::bd

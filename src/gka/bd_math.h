@@ -7,6 +7,10 @@
 // Member i reconstructs K as
 //   K = z_{i-1}^{n r_i} * X_i^{n-1} * X_{i+1}^{n-2} * ... * X_{i+n-2}
 // and Lemma 1 gives the consistency check  prod_i X_i == 1 (mod p).
+//
+// All arithmetic flows through the caller's GroupCtx (params.group()): one
+// shared ModContext per modulus plus the generator's fixed-base comb table —
+// nothing here re-derives per-modulus state.
 #pragma once
 
 #include <span>
@@ -17,20 +21,20 @@
 namespace idgka::gka::bd {
 
 /// X = (z_next / z_prev)^r mod p.
-[[nodiscard]] BigInt compute_x(const SystemParams& params, const BigInt& z_next,
+[[nodiscard]] BigInt compute_x(const GroupCtx& grp, const BigInt& z_next,
                                const BigInt& z_prev, const BigInt& r);
 
 /// Member `index`'s reconstruction of the group key from the full rings of
 /// z and X values (both in ring order, size n).
-[[nodiscard]] BigInt compute_key(const SystemParams& params, std::span<const BigInt> z,
+[[nodiscard]] BigInt compute_key(const GroupCtx& grp, std::span<const BigInt> z,
                                  std::span<const BigInt> x, std::size_t index,
                                  const BigInt& r);
 
 /// Lemma 1: prod_i X_i == 1 (mod p).
-[[nodiscard]] bool lemma1_holds(const SystemParams& params, std::span<const BigInt> x);
+[[nodiscard]] bool lemma1_holds(const GroupCtx& grp, std::span<const BigInt> x);
 
 /// Test oracle: the key computed directly from all ephemerals,
 /// g^{r_0 r_1 + r_1 r_2 + ... + r_{n-1} r_0} mod p.
-[[nodiscard]] BigInt direct_key(const SystemParams& params, std::span<const BigInt> r);
+[[nodiscard]] BigInt direct_key(const GroupCtx& grp, std::span<const BigInt> r);
 
 }  // namespace idgka::gka::bd

@@ -60,6 +60,7 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
                         net::Network& network) {
   RunResult result;
   const SystemParams& params = authority.params();
+  const gka::GroupCtx grp = params.group();
   const std::size_t n = members.size();
   if (n < 2) throw std::invalid_argument("run_bd_signed: need at least 2 members");
 
@@ -80,7 +81,7 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
     m.ring = ring;
     m.r = mpint::random_range(*m.rng, BigInt{1}, params.grp.q);
     m.ledger.record(Op::kModExp);  // z_i
-    const BigInt z = params.mont_p->pow(params.grp.g, m.r);
+    const BigInt z = params.gpow(m.r);
     m.z_map.clear();
     m.t_map.clear();
     m.z_map[m.cred.id] = z;
@@ -145,9 +146,9 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
     const BigInt& z_next = m.z_map.at(ring[(i + 1) % n]);
     const BigInt& z_prev = m.z_map.at(ring[(i + n - 1) % n]);
     m.ledger.record(Op::kModExp);  // X_i
-    locals[idx].x = bd::compute_x(params, z_next, z_prev, m.r);
+    locals[idx].x = bd::compute_x(grp, z_next, z_prev, m.r);
     BigInt z_prod{1};
-    for (const std::uint32_t id : ring) z_prod = params.mont_p->mul(z_prod, m.z_map.at(id));
+    for (const std::uint32_t id : ring) z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
     locals[idx].z_prod = z_prod;
 
     const auto statement =
@@ -181,7 +182,8 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
       }
       case BdAuth::kDsa: {
         m.ledger.record(Op::kSignGenDsa);
-        const auto sig = sig::dsa_sign(authority.dsa_params(), m.cred.dsa_key, statement, *m.rng);
+        const auto sig = sig::dsa_sign(authority.dsa_params(), authority.dsa_ctx(),
+                                       m.cred.dsa_key, statement, *m.rng);
         msg.payload.put_int("sig_r", sig.r);
         msg.payload.put_int("sig_s", sig.s);
         sig_bits = energy::wire::kDsaSigBits;
@@ -248,7 +250,7 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
           const auto pub = pki::decode_dsa_public(authority.dsa_params(),
                                                   peer_it->cred.dsa_cert.subject_public_key);
           ok = pub.has_value() &&
-               sig::dsa_verify(authority.dsa_params(), *pub, statement,
+               sig::dsa_verify(authority.dsa_params(), authority.dsa_ctx(), *pub, statement,
                                sig::DsaSignature{msg.payload.get_int("sig_r"),
                                                  msg.payload.get_int("sig_s")});
           break;
@@ -264,7 +266,7 @@ RunResult run_bd_signed(const Authority& authority, BdAuth auth, std::span<Membe
     m.ledger.record(Op::kModExp);
     std::vector<BigInt> z_ring(n);
     for (std::size_t j = 0; j < n; ++j) z_ring[j] = m.z_map.at(ring[j]);
-    m.key = bd::compute_key(params, z_ring, x_ring, own, m.r);
+    m.key = bd::compute_key(grp, z_ring, x_ring, own, m.r);
   });
   if (!all_ok.load()) return result;
   for (const MemberCtx& m : members) {

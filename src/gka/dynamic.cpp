@@ -127,12 +127,12 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   // ---------------- Round 1: the joiner introduces itself (signed).
   joiner.r = mpint::random_range(*joiner.rng, BigInt{1}, params.grp.q);
   joiner.ledger.record(Op::kModExp);
-  const BigInt z_new = params.mont_p->pow(params.grp.g, joiner.r);
+  const BigInt z_new = params.gpow(joiner.r);
   joiner.tau = BigInt{};  // no stored commitment yet; refreshed at next leave
   joiner.t = BigInt{};
 
   joiner.ledger.record(Op::kSignGenGq);
-  const sig::GqSigner joiner_signer(params.gq, joiner.cred.id, joiner.cred.gq_secret);
+  const sig::GqSigner joiner_signer(params.gq, joiner.cred.id, joiner.cred.gq_secret, params.ctx_n);
   const auto sig_r1 = joiner_signer.sign(id_z_bytes(joiner.cred.id, z_new), *joiner.rng);
 
   net::Message m_r1;
@@ -158,7 +158,7 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
     const net::Message& rx = r1.collected.at(m.cred.id).at(joiner.cred.id);
     m.ledger.record(Op::kSignVerGq);
     const sig::GqSignature s{rx.payload.get_int("sig_s"), rx.payload.get_int("sig_c")};
-    return sig::gq_verify(params.gq, joiner.cred.id,
+    return sig::gq_verify(params.gq, *params.ctx_n, joiner.cred.id,
                           id_z_bytes(joiner.cred.id, rx.payload.get_int("z")), s);
   };
 
@@ -172,14 +172,14 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   // K* = K * (z2 zn)^{-r1} * (z2 z_{n+1})^{r1'}   (Eq. 5)
   u1.ledger.record(Op::kModExp, 2);
   const BigInt term_down =
-      params.mont_p->pow(params.mont_p->mul(z2, zn), (params.grp.q - r1_old));
-  const BigInt term_up = params.mont_p->pow(
-      params.mont_p->mul(z2, u1.z_map.at(joiner.cred.id)), r1_new);
-  const BigInt k_star = params.mont_p->mul(params.mont_p->mul(old_key, term_down), term_up);
+      params.ctx_p->exp(params.ctx_p->mul(z2, zn), (params.grp.q - r1_old));
+  const BigInt term_up = params.ctx_p->exp(
+      params.ctx_p->mul(z2, u1.z_map.at(joiner.cred.id)), r1_new);
+  const BigInt k_star = params.ctx_p->mul(params.ctx_p->mul(old_key, term_down), term_up);
   u1.r = r1_new;
   // Deviation (DESIGN.md): publish z1' so the ring stays consistent.
   u1.ledger.record(Op::kModExp);
-  const BigInt z1_new = params.mont_p->pow(params.grp.g, r1_new);
+  const BigInt z1_new = params.gpow(r1_new);
 
   net::Message m_u1;
   m_u1.sender = u1.cred.id;
@@ -195,10 +195,10 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   if (!verify_joiner_intro(un)) return result;
   un.ledger.record(Op::kModExp);
   const BigInt k_bridge =
-      params.mont_p->pow(un.z_map.at(joiner.cred.id), un.r);  // g^{r_n r_{n+1}}
+      params.ctx_p->exp(un.z_map.at(joiner.cred.id), un.r);  // g^{r_n r_{n+1}}
   const auto ek_bridge = seal_counted(un, old_key, k_bridge, /*sequence=*/0);
   un.ledger.record(Op::kSignGenGq);
-  const sig::GqSigner un_signer(params.gq, un.cred.id, un.cred.gq_secret);
+  const sig::GqSigner un_signer(params.gq, un.cred.id, un.cred.gq_secret, params.ctx_n);
   const auto sig_un = un_signer.sign(blob_z_bytes(ek_bridge, un.z_map.at(un.cred.id)), *un.rng);
 
   net::Message m_un;
@@ -228,7 +228,7 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   {
     const sig::GqSignature s{m_un_at_joiner.payload.get_int("sig_s"),
                              m_un_at_joiner.payload.get_int("sig_c")};
-    if (!sig::gq_verify(params.gq, un.cred.id,
+    if (!sig::gq_verify(params.gq, *params.ctx_n, un.cred.id,
                         blob_z_bytes(m_un_at_joiner.payload.get_blob("ek_bridge"),
                                      m_un_at_joiner.payload.get_int("zn")),
                         s)) {
@@ -237,7 +237,7 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   }
   joiner.ledger.record(Op::kModExp);
   const BigInt k_bridge_joiner =
-      params.mont_p->pow(m_un_at_joiner.payload.get_int("zn"), joiner.r);
+      params.ctx_p->exp(m_un_at_joiner.payload.get_int("zn"), joiner.r);
 
   // (2) U_n relays K* (decrypted from its received copy of m'_1) to the
   //     joiner under the bridge key, plus the ring table (metadata).
@@ -276,7 +276,7 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
                    m_relay_at_joiner.payload.get_blob("ek_kstar_bridge"), un.cred.id,
                    /*sequence=*/1);
   if (!k_star_at_joiner.has_value()) return result;
-  const BigInt new_key = params.mont_p->mul(*k_star_at_joiner, k_bridge_joiner);
+  const BigInt new_key = params.ctx_p->mul(*k_star_at_joiner, k_bridge_joiner);
 
   // Existing members: decrypt K* (their copy of m'_1) and the bridge key
   // (their copy of m''_n).
@@ -303,7 +303,7 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
       k_star_m = *opened_star;
       bridge_m = *opened_bridge;
     }
-    m.key = params.mont_p->mul(k_star_m, bridge_m);
+    m.key = params.ctx_p->mul(k_star_m, bridge_m);
     if (m.key != new_key) throw std::logic_error("run_join: key mismatch");
     m.ring = everyone;
     if (m.cred.id != u1.cred.id) {
@@ -378,8 +378,8 @@ RunResult run_departure(const SystemParams& params, std::span<MemberCtx> members
     MemberCtx& m = *find_member(members, survivors[k]);
     m.r = mpint::random_range(*m.rng, BigInt{1}, params.grp.q);
     m.ledger.record(Op::kModExp);
-    const BigInt z = params.mont_p->pow(params.grp.g, m.r);
-    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret);
+    const BigInt z = params.gpow(m.r);
+    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret, params.ctx_n);
     const auto commitment = signer.commit(*m.rng);  // charged within SignGenGq
     m.tau = commitment.tau;
     m.t = commitment.t;
@@ -426,18 +426,18 @@ RunResult run_departure(const SystemParams& params, std::span<MemberCtx> members
     const BigInt& z_next = m.z_map.at(survivors[(k + 1) % m_count]);
     const BigInt& z_prev = m.z_map.at(survivors[(k + m_count - 1) % m_count]);
     m.ledger.record(Op::kModExp);
-    locals[k].x = bd::compute_x(params, z_next, z_prev, m.r);
+    locals[k].x = bd::compute_x(params.group(), z_next, z_prev, m.r);
 
     BigInt z_prod{1};
     BigInt t_prod{1};
     for (const std::uint32_t id : survivors) {
-      z_prod = params.mont_p->mul(z_prod, m.z_map.at(id));
-      t_prod = params.mont_n->mul(t_prod, m.t_map.at(id));
+      z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
+      t_prod = params.ctx_n->mul(t_prod, m.t_map.at(id));
     }
     locals[k].z_prod = z_prod;
     locals[k].c = sig::gq_challenge(t_prod.to_bytes_be(), z_prod.to_bytes_be());
     m.ledger.record(Op::kSignGenGq);
-    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret);
+    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret, params.ctx_n);
     locals[k].s = signer.respond({m.tau, m.t}, locals[k].c);
 
     net::Message msg;
@@ -471,16 +471,16 @@ RunResult run_departure(const SystemParams& params, std::span<MemberCtx> members
       s_ring[j] = msg.payload.get_int("s");
     }
     m.ledger.record(Op::kSignVerGq);
-    if (!sig::gq_batch_verify(params.gq, survivors, s_ring, locals[k].c,
-                              locals[k].z_prod.to_bytes_be())) {
+    if (!sig::gq_batch_verify(params.gq, *params.ctx_n, survivors, s_ring, locals[k].c,
+                               locals[k].z_prod.to_bytes_be())) {
       return result;
     }
-    if (!bd::lemma1_holds(params, x_ring)) return result;
+    if (!bd::lemma1_holds(params.group(), x_ring)) return result;
 
     m.ledger.record(Op::kModExp);
     std::vector<BigInt> z_ring(m_count);
     for (std::size_t j = 0; j < m_count; ++j) z_ring[j] = m.z_map.at(survivors[j]);
-    m.key = bd::compute_key(params, z_ring, x_ring, k, m.r);
+    m.key = bd::compute_key(params.group(), z_ring, x_ring, k, m.r);
     if (k == 0) {
       agreed_key = m.key;
     } else if (m.key != agreed_key) {
@@ -547,17 +547,17 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
   const BigInt r1_old = u1.r;
   const BigInt r1_new = mpint::random_range(*u1.rng, BigInt{1}, params.grp.q);
   u1.ledger.record(Op::kModExp);
-  const BigInt z1_new = params.mont_p->pow(params.grp.g, r1_new);
+  const BigInt z1_new = params.gpow(r1_new);
   u1.ledger.record(Op::kSignGenGq);
-  const sig::GqSigner u1_signer(params.gq, u1.cred.id, u1.cred.gq_secret);
+  const sig::GqSigner u1_signer(params.gq, u1.cred.id, u1.cred.gq_secret, params.ctx_n);
   const auto sig_u1 = u1_signer.sign(blob_z_bytes(id_z_bytes(u1.cred.id, z1_new), z_n), *u1.rng);
 
   const BigInt rb_old = ub.r;
   const BigInt rb_new = mpint::random_range(*ub.rng, BigInt{1}, params.grp.q);
   ub.ledger.record(Op::kModExp);
-  const BigInt zb_new = params.mont_p->pow(params.grp.g, rb_new);
+  const BigInt zb_new = params.gpow(rb_new);
   ub.ledger.record(Op::kSignGenGq);
-  const sig::GqSigner ub_signer(params.gq, ub.cred.id, ub.cred.gq_secret);
+  const sig::GqSigner ub_signer(params.gq, ub.cred.id, ub.cred.gq_secret, params.ctx_n);
   const auto sig_ub =
       ub_signer.sign(blob_z_bytes(id_z_bytes(ub.cred.id, zb_new), z_nm), *ub.rng);
 
@@ -602,7 +602,7 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
     const sig::GqSignature s{m1b_at_u1.payload.get_int("sig_s"),
                              m1b_at_u1.payload.get_int("sig_c")};
     if (!sig::gq_verify(
-            params.gq, ub.cred.id,
+            params.gq, *params.ctx_n, ub.cred.id,
             blob_z_bytes(id_z_bytes(ub.cred.id, m1b_at_u1.payload.get_int("z_new")),
                          m1b_at_u1.payload.get_int("z_last")),
             s)) {
@@ -611,14 +611,14 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
   }
   u1.ledger.record(Op::kModExp);
   const BigInt bridge_at_a =
-      params.mont_p->pow(m1b_at_u1.payload.get_int("z_new"), r1_new);  // g^{r1' rb'}
+      params.ctx_p->exp(m1b_at_u1.payload.get_int("z_new"), r1_new);  // g^{r1' rb'}
   const BigInt& z2 = u1.z_map.at(ring_a[1 % n]);
   u1.ledger.record(Op::kModExp, 2);
-  const BigInt ka_down = params.mont_p->pow(params.mont_p->mul(z2, z_n),
+  const BigInt ka_down = params.ctx_p->exp(params.ctx_p->mul(z2, z_n),
                                             (params.grp.q - r1_old));
-  const BigInt ka_up = params.mont_p->pow(
-      params.mont_p->mul(z2, m1b_at_u1.payload.get_int("z_last")), r1_new);
-  const BigInt k_star_a = params.mont_p->mul(params.mont_p->mul(key_a, ka_down), ka_up);
+  const BigInt ka_up = params.ctx_p->exp(
+      params.ctx_p->mul(z2, m1b_at_u1.payload.get_int("z_last")), r1_new);
+  const BigInt k_star_a = params.ctx_p->mul(params.ctx_p->mul(key_a, ka_down), ka_up);
   u1.r = r1_new;
 
   net::Message m2a;
@@ -639,7 +639,7 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
     const sig::GqSignature s{m1a_at_ub.payload.get_int("sig_s"),
                              m1a_at_ub.payload.get_int("sig_c")};
     if (!sig::gq_verify(
-            params.gq, u1.cred.id,
+            params.gq, *params.ctx_n, u1.cred.id,
             blob_z_bytes(id_z_bytes(u1.cred.id, m1a_at_ub.payload.get_int("z_new")),
                          m1a_at_ub.payload.get_int("z_last")),
             s)) {
@@ -648,14 +648,14 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
   }
   ub.ledger.record(Op::kModExp);
   const BigInt bridge_at_b =
-      params.mont_p->pow(m1a_at_ub.payload.get_int("z_new"), rb_new);
+      params.ctx_p->exp(m1a_at_ub.payload.get_int("z_new"), rb_new);
   const BigInt& z_n2 = ub.z_map.at(ring_b[1 % m_sz]);  // z_{n+2}
   ub.ledger.record(Op::kModExp, 2);
-  const BigInt kb_up = params.mont_p->pow(
-      params.mont_p->mul(m1a_at_ub.payload.get_int("z_last"), z_n2), rb_new);
-  const BigInt kb_down = params.mont_p->pow(params.mont_p->mul(z_n2, z_nm),
+  const BigInt kb_up = params.ctx_p->exp(
+      params.ctx_p->mul(m1a_at_ub.payload.get_int("z_last"), z_n2), rb_new);
+  const BigInt kb_down = params.ctx_p->exp(params.ctx_p->mul(z_n2, z_nm),
                                             (params.grp.q - rb_old));
-  const BigInt k_star_b = params.mont_p->mul(params.mont_p->mul(key_b, kb_up), kb_down);
+  const BigInt k_star_b = params.ctx_p->mul(params.ctx_p->mul(key_b, kb_up), kb_down);
   ub.r = rb_new;
 
   net::Message m2b;
@@ -723,13 +723,13 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
   ++result.rounds;
 
   // ---------------- Key computation: K' = K*_A * K*_B for everyone.
-  const BigInt new_key = params.mont_p->mul(k_star_a, *k_star_b_at_u1);
+  const BigInt new_key = params.ctx_p->mul(k_star_a, *k_star_b_at_u1);
 
   const RingTable tbl_a = get_ring_table(m1a.payload);
   const RingTable tbl_b = get_ring_table(m1b.payload);
 
   auto finalize = [&](MemberCtx& m, const BigInt& star_own, const BigInt& star_peer) {
-    m.key = params.mont_p->mul(star_own, star_peer);
+    m.key = params.ctx_p->mul(star_own, star_peer);
     if (m.key != new_key) throw std::logic_error("run_merge: key mismatch");
     m.ring = merged;
     // Union the z/t tables (metadata from the controllers' announcements).

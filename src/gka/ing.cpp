@@ -32,7 +32,7 @@ RunResult run_ing(const SystemParams& params, std::span<MemberCtx> members,
     m.t_map.clear();
     m.r = mpint::random_range(*m.rng, BigInt{1}, params.grp.q);
     m.ledger.record(Op::kModExp);
-    inflight[i] = params.mont_p->pow(params.grp.g, m.r);
+    inflight[i] = params.gpow(m.r);
   }
 
   // Rounds 1..n-1: pass around the ring, exponentiating along the way.
@@ -62,7 +62,7 @@ RunResult run_ing(const SystemParams& params, std::span<MemberCtx> members,
       const BigInt& received =
           rr.collected.at(m.cred.id).at(ring[(i + n - 1) % n]).payload.get_int("v");
       m.ledger.record(Op::kModExp);
-      next[i] = params.mont_p->pow(received, m.r);
+      next[i] = params.ctx_p->exp(received, m.r);
     }
     inflight = std::move(next);
   }

@@ -25,8 +25,15 @@ Authority::Authority(SecurityProfile profile, std::uint64_t seed)
   params_.grp = mpint::generate_schnorr_group(*rng_, sizes.p_bits, sizes.q_bits, mr);
   gq_pkg_ = std::make_unique<sig::GqPkg>(*rng_, sizes.gq_bits, mr);
   params_.gq = gq_pkg_->params();
-  params_.mont_p = std::make_shared<const mpint::MontgomeryCtx>(params_.grp.p);
-  params_.mont_n = std::make_shared<const mpint::MontgomeryCtx>(params_.gq.n);
+  params_.ctx_p = std::make_shared<const mpint::ModContext>(params_.grp.p);
+  params_.ctx_n = std::make_shared<const mpint::ModContext>(params_.gq.n);
+  // Fixed-base comb tables: every member exponentiates the same g (mod p,
+  // exponents mod q) and the same SSN base h (mod n, exponents up to |n|).
+  params_.g_comb = std::make_shared<const mpint::FixedBaseTable>(
+      params_.ctx_p->make_fixed_base(params_.grp.g, params_.grp.q.bit_length()));
+  params_.h_ssn = sig::gq_hash_id(params_.gq, 0xFFFFFFFFU);  // reserved "system" id
+  params_.h_comb = std::make_shared<const mpint::FixedBaseTable>(
+      params_.ctx_n->make_fixed_base(params_.h_ssn, params_.gq.n.bit_length()));
 
   ss_group_ = std::make_unique<pairing::SsGroup>(
       mpint::generate_supersingular_params(*rng_, sizes.ss_p_bits, sizes.ss_q_bits, mr));
@@ -34,8 +41,9 @@ Authority::Authority(SecurityProfile profile, std::uint64_t seed)
   sok_pkg_ = std::make_unique<sig::SokPkg>(*ss_group_, *rng_);
 
   dsa_params_ = sig::dsa_generate_params(*rng_, sizes.p_bits, sizes.q_bits, mr);
+  dsa_ctx_ = std::make_shared<const mpint::ModContext>(dsa_params_.p);
   curve_ = &ec::secp160r1();
-  dsa_ca_ = std::make_unique<pki::CertificateAuthority>(dsa_params_, *rng_);
+  dsa_ca_ = std::make_unique<pki::CertificateAuthority>(dsa_params_, dsa_ctx_, *rng_);
   ecdsa_ca_ = std::make_unique<pki::CertificateAuthority>(*curve_, *rng_);
 }
 
@@ -44,7 +52,7 @@ MemberCredentials Authority::enroll(std::uint32_t id) {
   cred.id = id;
   cred.gq_secret = gq_pkg_->extract(id);
   cred.sok_secret = sok_pkg_->extract(id);
-  cred.dsa_key = sig::dsa_generate_keypair(dsa_params_, *rng_);
+  cred.dsa_key = sig::dsa_generate_keypair(dsa_params_, *dsa_ctx_, *rng_);
   cred.dsa_cert = dsa_ca_->issue(id, pki::encode_dsa_public(dsa_params_, cred.dsa_key.y), *rng_);
   cred.ecdsa_key = sig::ecdsa_generate_keypair(*curve_, *rng_);
   cred.ecdsa_cert =

@@ -11,7 +11,7 @@
 #include <memory>
 
 #include "ec/curve.h"
-#include "mpint/montgomery.h"
+#include "mpint/mod_context.h"
 #include "mpint/prime.h"
 #include "pairing/tate.h"
 #include "pki/certificate.h"
@@ -31,16 +31,41 @@ enum class SecurityProfile {
   kTiny,   ///< property-sweep sizes: |p| = 192, |q| = 128, |n| = 192
 };
 
+/// Modular-arithmetic view of the (p, q, g) key-agreement group, threaded
+/// down into the ring computations (gka::bd) so they never re-derive
+/// per-modulus state or re-exponentiate the generator from scratch.
+struct GroupCtx {
+  const mpint::ModContext& p;       ///< mod-p context
+  const BigInt& q;                  ///< exponent group order
+  const mpint::FixedBaseTable& g;   ///< comb table for the generator
+
+  /// Fixed-base g^e mod p through the comb table.
+  [[nodiscard]] BigInt gpow(const BigInt& e) const { return p.exp(g, e); }
+};
+
 /// Shared public parameters for the key-agreement group and GQ signatures.
 struct SystemParams {
   mpint::SchnorrGroup grp;  ///< (p, q, g) — BD exponentiation group
   sig::GqParams gq;         ///< (n, e) — GQ verification parameters
   SecurityProfile profile = SecurityProfile::kTest;
 
-  /// Cached Montgomery context for mod-p arithmetic (shared, immutable).
-  std::shared_ptr<const mpint::MontgomeryCtx> mont_p;
-  /// Cached Montgomery context for mod-n arithmetic.
-  std::shared_ptr<const mpint::MontgomeryCtx> mont_n;
+  /// Cached modular context for mod-p arithmetic (shared, immutable).
+  std::shared_ptr<const mpint::ModContext> ctx_p;
+  /// Cached modular context for mod-n arithmetic.
+  std::shared_ptr<const mpint::ModContext> ctx_n;
+  /// Fixed-base comb table for the group generator g (exponents mod q).
+  std::shared_ptr<const mpint::FixedBaseTable> g_comb;
+  /// SSN authenticator base h in Z_n^* (pure function of the GQ params) and
+  /// its comb table (exponents up to |n| bits).
+  BigInt h_ssn;
+  std::shared_ptr<const mpint::FixedBaseTable> h_comb;
+
+  /// g^e mod p through the cached comb table — the protocols' hottest call.
+  [[nodiscard]] BigInt gpow(const BigInt& e) const { return ctx_p->exp(*g_comb, e); }
+  /// h^e mod n through the cached comb table (SSN authenticators).
+  [[nodiscard]] BigInt hpow(const BigInt& e) const { return ctx_n->exp(*h_comb, e); }
+  /// The ring-computation view handed to gka::bd.
+  [[nodiscard]] GroupCtx group() const { return GroupCtx{*ctx_p, grp.q, *g_comb}; }
 
   [[nodiscard]] std::size_t element_bits() const { return grp.p.bit_length(); }
   [[nodiscard]] std::size_t gq_t_bits() const { return gq.n.bit_length(); }
@@ -74,6 +99,8 @@ class Authority {
   [[nodiscard]] const pairing::TatePairing& tate() const { return *tate_; }
   [[nodiscard]] const ec::Point& sok_public_key() const { return sok_pkg_->public_key(); }
   [[nodiscard]] const sig::DsaParams& dsa_params() const { return dsa_params_; }
+  /// Cached mod-p context for the DSA baseline parameters.
+  [[nodiscard]] const mpint::ModContext& dsa_ctx() const { return *dsa_ctx_; }
   [[nodiscard]] const ec::Curve& curve() const { return *curve_; }
   [[nodiscard]] const pki::CertificateAuthority& dsa_ca() const { return *dsa_ca_; }
   [[nodiscard]] const pki::CertificateAuthority& ecdsa_ca() const { return *ecdsa_ca_; }
@@ -88,6 +115,7 @@ class Authority {
   std::unique_ptr<pairing::TatePairing> tate_;
   std::unique_ptr<sig::SokPkg> sok_pkg_;
   sig::DsaParams dsa_params_;
+  std::shared_ptr<const mpint::ModContext> dsa_ctx_;
   const ec::Curve* curve_ = nullptr;
   std::unique_ptr<pki::CertificateAuthority> dsa_ca_;
   std::unique_ptr<pki::CertificateAuthority> ecdsa_ca_;

@@ -35,6 +35,7 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
   ring.reserve(n);
   for (const MemberCtx& m : members) ring.push_back(m.cred.id);
 
+  const gka::GroupCtx grp = params.group();
   const std::size_t z_bits = params.element_bits();
   const std::size_t t_bits = params.gq_t_bits();
   const std::size_t s_bits = params.gq_s_bits();
@@ -47,11 +48,11 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
     m.ring = ring;
     m.r = mpint::random_range(*m.rng, BigInt{1}, params.grp.q);
     m.ledger.record(Op::kModExp);  // z_i = g^{r_i}
-    const BigInt z = params.mont_p->pow(params.grp.g, m.r);
+    const BigInt z = params.gpow(m.r);
 
     // GQ commitment; the exponentiation t = tau^e is half of the GQ
     // signature generation, charged as part of kSignGenGq in Round 2.
-    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret);
+    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret, params.ctx_n);
     const auto commitment = signer.commit(*m.rng);
     m.tau = commitment.tau;
     m.t = commitment.t;
@@ -101,15 +102,15 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
     const BigInt& z_next = m.z_map.at(ring[(i + 1) % n]);
     const BigInt& z_prev = m.z_map.at(ring[(i + n - 1) % n]);
     m.ledger.record(Op::kModExp);  // X_i
-    locals[idx].x = bd::compute_x(params, z_next, z_prev, m.r);
+    locals[idx].x = bd::compute_x(grp, z_next, z_prev, m.r);
 
     BigInt z_prod{1};
     for (const std::uint32_t id : ring) {
-      z_prod = params.mont_p->mul(z_prod, m.z_map.at(id));
+      z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
     }
     BigInt t_prod{1};
     for (const std::uint32_t id : ring) {
-      t_prod = params.mont_n->mul(t_prod, m.t_map.at(id));
+      t_prod = params.ctx_n->mul(t_prod, m.t_map.at(id));
     }
     locals[idx].z_prod = z_prod;
     locals[idx].c = sig::gq_challenge(t_prod.to_bytes_be(), z_prod.to_bytes_be());
@@ -117,7 +118,7 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
     // s_i = tau_i * S_{U_i}^c — together with t_i this is one GQ signature
     // generation (paper: one Sign Gen per member).
     m.ledger.record(Op::kSignGenGq);
-    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret);
+    const sig::GqSigner signer(params.gq, m.cred.id, m.cred.gq_secret, params.ctx_n);
     locals[idx].s = signer.respond({m.tau, m.t}, locals[idx].c);
 
     net::Message msg;
@@ -157,13 +158,13 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
 
     // Equation (2): one batch verification per member.
     m.ledger.record(Op::kSignVerGq);
-    if (!sig::gq_batch_verify(params.gq, ids, s_ring, locals[idx].c,
+    if (!sig::gq_batch_verify(params.gq, *params.ctx_n, ids, s_ring, locals[idx].c,
                               locals[idx].z_prod.to_bytes_be())) {
       all_ok.store(false, std::memory_order_relaxed);
       return;  // protocol-level failure (driver may retry from scratch)
     }
     // Lemma 1.
-    if (!bd::lemma1_holds(params, x_ring)) {
+    if (!bd::lemma1_holds(grp, x_ring)) {
       all_ok.store(false, std::memory_order_relaxed);
       return;
     }
@@ -172,7 +173,7 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
     m.ledger.record(Op::kModExp);
     std::vector<BigInt> z_ring(n);
     for (std::size_t j = 0; j < n; ++j) z_ring[j] = m.z_map.at(ring[j]);
-    m.key = bd::compute_key(params, z_ring, x_ring, own, m.r);
+    m.key = bd::compute_key(grp, z_ring, x_ring, own, m.r);
   });
   if (!all_ok.load()) return result;
   for (const MemberCtx& m : members) {

@@ -14,11 +14,6 @@ namespace {
 
 using energy::Op;
 
-// Public base h in Z_n^* for the authenticators, derived from the params.
-BigInt derive_h(const sig::GqParams& gq) {
-  return sig::gq_hash_id(gq, 0xFFFFFFFFU);  // reserved "system" identity
-}
-
 // c_i = H(U_i || z_i || X_i || Z), non-zero.
 BigInt authenticator_challenge(std::uint32_t id, const BigInt& z, const BigInt& x,
                                const BigInt& z_prod) {
@@ -47,7 +42,7 @@ RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
   ring.reserve(n);
   for (const MemberCtx& m : members) ring.push_back(m.cred.id);
 
-  const BigInt h = derive_h(params.gq);
+  const gka::GroupCtx grp = params.group();
   const std::size_t z_bits = params.element_bits();
   const std::size_t n_bits = params.gq_t_bits();
 
@@ -58,7 +53,7 @@ RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
     m.ring = ring;
     m.r = mpint::random_range(*m.rng, BigInt{1}, params.grp.q);
     m.ledger.record(Op::kModExp);  // z_i
-    const BigInt z = params.mont_p->pow(params.grp.g, m.r);
+    const BigInt z = params.gpow(m.r);
     m.z_map.clear();
     m.t_map.clear();
     m.z_map[m.cred.id] = z;
@@ -93,19 +88,19 @@ RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
     MemberCtx& m = members[idx];
     const std::size_t i = m.ring_index();
     m.ledger.record(Op::kModExp);  // X_i
-    locals[idx].x = bd::compute_x(params, m.z_map.at(ring[(i + 1) % n]),
+    locals[idx].x = bd::compute_x(grp, m.z_map.at(ring[(i + 1) % n]),
                                   m.z_map.at(ring[(i + n - 1) % n]), m.r);
     BigInt z_prod{1};
-    for (const std::uint32_t id : ring) z_prod = params.mont_p->mul(z_prod, m.z_map.at(id));
+    for (const std::uint32_t id : ring) z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
     locals[idx].z_prod = z_prod;
 
     const BigInt c =
         authenticator_challenge(m.cred.id, m.z_map.at(m.cred.id), locals[idx].x, z_prod);
     const BigInt rho = mpint::random_unit(*m.rng, params.gq.n);
     m.ledger.record(Op::kModExp);  // w_i = h^{rho}
-    const BigInt w = params.mont_n->pow(h, rho);
+    const BigInt w = params.hpow(rho);
     m.ledger.record(Op::kModExp);  // w_i^{c_i}
-    const BigInt a = params.mont_n->mul(m.cred.gq_secret, params.mont_n->pow(w, c));
+    const BigInt a = params.ctx_n->mul(m.cred.gq_secret, params.ctx_n->exp(w, c));
 
     net::Message msg;
     msg.sender = m.cred.id;
@@ -140,9 +135,9 @@ RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
                                                  locals[idx].z_prod);
       // a_j^e == H(U_j) * w_j^{c_j * e} mod n  —  two exponentiations.
       m.ledger.record(Op::kModExp, 2);
-      const BigInt lhs = params.mont_n->pow(a_j, params.gq.e);
-      const BigInt rhs = params.mont_n->mul(sig::gq_hash_id(params.gq, sender),
-                                            params.mont_n->pow(w_j, c_j * params.gq.e));
+      const BigInt lhs = params.ctx_n->exp(a_j, params.gq.e);
+      const BigInt rhs = params.ctx_n->mul(sig::gq_hash_id(params.gq, sender),
+                                           params.ctx_n->exp(w_j, c_j * params.gq.e));
       if (lhs != rhs) {
         all_ok.store(false, std::memory_order_relaxed);
         return;
@@ -152,7 +147,7 @@ RunResult run_ssn(const SystemParams& params, std::span<MemberCtx> members,
     m.ledger.record(Op::kModExp);  // key reconstruction
     std::vector<BigInt> z_ring(n);
     for (std::size_t j = 0; j < n; ++j) z_ring[j] = m.z_map.at(ring[j]);
-    m.key = bd::compute_key(params, z_ring, x_ring, own, m.r);
+    m.key = bd::compute_key(grp, z_ring, x_ring, own, m.r);
   });
   if (!all_ok.load()) return result;
   for (const MemberCtx& m : members) {

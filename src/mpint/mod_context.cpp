@@ -1,0 +1,354 @@
+#include "mpint/mod_context.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace idgka::mpint {
+
+namespace {
+
+using u128 = unsigned __int128;
+using Limb = BigInt::Limb;
+
+std::atomic<std::uint64_t> g_exps{0};
+std::atomic<std::uint64_t> g_mod_muls{0};
+
+// -n^{-1} mod 2^64 via Newton iteration (n odd).
+Limb neg_inv64(Limb n) {
+  Limb x = n;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;
+  return ~x + 1;  // -(n^{-1})
+}
+
+unsigned clamp_window(unsigned w) { return w < 2 ? 2 : (w > 8 ? 8 : w); }
+
+// Shrink the window for short exponents so the 2^w-entry table pays for
+// itself (thresholds follow the usual bits-per-window break-even points).
+unsigned fit_window(unsigned w, std::size_t exp_bits) {
+  const unsigned cap = exp_bits <= 23 ? 2 : exp_bits <= 79 ? 3 : exp_bits <= 239 ? 4 : w;
+  return cap < w ? cap : w;
+}
+
+// Left-to-right (MSB-first) fixed-window scan shared by both
+// exponentiation engines: w squarings per window, then one multiply by
+// `table[digit]`. `table[j]` must hold base^j; sqr/mul are the engine
+// primitives. Returns {accumulator, started}; started == false means the
+// exponent was zero.
+template <typename T, typename Sqr, typename Mul>
+std::pair<T, bool> scan_windows(const BigInt& e, unsigned w, const std::vector<T>& table,
+                                Sqr&& sqr, Mul&& mul) {
+  const std::size_t windows = (e.bit_length() + w - 1) / w;
+  T acc{};
+  bool started = false;
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started) {
+      for (unsigned s = 0; s < w; ++s) acc = sqr(acc);
+    }
+    std::size_t digit = 0;
+    for (unsigned b = 0; b < w; ++b) {
+      if (e.bit(win * w + b)) digit |= std::size_t{1} << b;
+    }
+    if (digit != 0) {
+      if (started) {
+        acc = mul(acc, table[digit]);
+      } else {
+        acc = table[digit];
+        started = true;
+      }
+    }
+  }
+  return {std::move(acc), started};
+}
+
+}  // namespace
+
+OpCounts op_counts() {
+  return OpCounts{g_exps.load(std::memory_order_relaxed),
+                  g_mod_muls.load(std::memory_order_relaxed)};
+}
+
+std::size_t FixedBaseTable::table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : table_) total += entry.size() * sizeof(Limb);
+  return total;
+}
+
+ModContext::ModContext(BigInt modulus, unsigned window_bits) : n_(std::move(modulus)) {
+  if (n_ <= BigInt{1}) {
+    throw std::invalid_argument("ModContext: modulus must be > 1");
+  }
+  window_ = window_bits == 0 ? (n_.bit_length() >= 512 ? 5 : 4) : clamp_window(window_bits);
+  mont_ = n_.is_odd();
+  if (!mont_) return;  // generic path needs nothing precomputed
+  n_limbs_ = n_.limbs();
+  k_ = n_limbs_.size();
+  n0_inv_ = neg_inv64(n_limbs_[0]);
+  rr_ = (BigInt{1} << (2 * 64 * k_)).mod(n_);
+  std::uint64_t muls = 0;
+  one_mont_ = to_mont(BigInt{1}, muls);
+}
+
+std::vector<Limb> ModContext::mont_mul(const std::vector<Limb>& a,
+                                       const std::vector<Limb>& b) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al.
+  std::vector<Limb> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    Limb carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 s = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<Limb>(s);
+    t[k_ + 1] = static_cast<Limb>(s >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const Limb m = t[0] * n0_inv_;
+    s = static_cast<u128>(m) * n_limbs_[0] + t[0];
+    carry = static_cast<Limb>(s >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      s = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    s = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<Limb>(s);
+    t[k_] = t[k_ + 1] + static_cast<Limb>(s >> 64);
+    t[k_ + 1] = 0;
+  }
+
+  // Conditional final subtraction: result may be in [0, 2n).
+  std::vector<Limb> r(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (r[i] != n_limbs_[i]) {
+        ge = r[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const Limb ni = n_limbs_[i];
+      const Limb before = r[i];
+      const Limb after = before - ni - borrow;
+      borrow = (before < ni || (before == ni && borrow != 0)) ? 1 : 0;
+      r[i] = after;
+    }
+  }
+  return r;
+}
+
+std::vector<Limb> ModContext::to_mont(const BigInt& a, std::uint64_t& muls) const {
+  // Operands are usually already in [0, n); skip the division then.
+  std::vector<Limb> al = (!a.negative() && a < n_) ? a.limbs() : a.mod(n_).limbs();
+  al.resize(k_, 0);
+  std::vector<Limb> rr = rr_.limbs();
+  rr.resize(k_, 0);
+  ++muls;
+  return mont_mul(al, rr);
+}
+
+BigInt ModContext::from_mont(const std::vector<Limb>& a, std::uint64_t& muls) const {
+  std::vector<Limb> one(k_, 0);
+  one[0] = 1;
+  ++muls;
+  return BigInt::from_limbs(mont_mul(a, one));
+}
+
+BigInt ModContext::mul(const BigInt& a, const BigInt& b) const {
+  std::uint64_t muls = 0;
+  BigInt r;
+  if (mont_) {
+    ++muls;
+    r = from_mont(mont_mul(to_mont(a, muls), to_mont(b, muls)), muls);
+  } else {
+    ++muls;
+    r = (a * b).mod(n_);
+  }
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return r;
+}
+
+BigInt ModContext::inv(const BigInt& a) const { return mod_inverse(a, n_); }
+
+BigInt ModContext::exp_mont(const BigInt& base, const BigInt& e, std::uint64_t& muls) const {
+  const std::size_t bits = e.bit_length();
+  if (bits == 0) return BigInt{1}.mod(n_);
+
+  // Precompute base^0..base^(2^w - 1) in Montgomery form.
+  const unsigned w = fit_window(window_, bits);
+  std::vector<std::vector<Limb>> table(std::size_t{1} << w);
+  table[0] = one_mont_;
+  table[1] = to_mont(base, muls);
+  for (std::size_t j = 2; j < table.size(); ++j) {
+    ++muls;
+    table[j] = mont_mul(table[j - 1], table[1]);
+  }
+
+  auto [acc, started] = scan_windows(
+      e, w, table,
+      [&](const std::vector<Limb>& a) {
+        ++muls;
+        return mont_mul(a, a);
+      },
+      [&](const std::vector<Limb>& a, const std::vector<Limb>& b) {
+        ++muls;
+        return mont_mul(a, b);
+      });
+  (void)started;  // bits > 0 guarantees the scan started
+  return from_mont(acc, muls);
+}
+
+BigInt ModContext::exp_generic(const BigInt& base, const BigInt& e,
+                               std::uint64_t& muls) const {
+  const std::size_t bits = e.bit_length();
+  if (bits == 0) return BigInt{1}.mod(n_);
+
+  const unsigned w = fit_window(window_, bits);
+  std::vector<BigInt> table(std::size_t{1} << w);
+  table[0] = BigInt{1};
+  table[1] = base.mod(n_);
+  for (std::size_t j = 2; j < table.size(); ++j) {
+    ++muls;
+    table[j] = (table[j - 1] * table[1]).mod(n_);
+  }
+
+  auto [acc, started] = scan_windows(
+      e, w, table,
+      [&](const BigInt& a) {
+        ++muls;
+        return (a * a).mod(n_);
+      },
+      [&](const BigInt& a, const BigInt& b) {
+        ++muls;
+        return (a * b).mod(n_);
+      });
+  return started ? acc : BigInt{1};  // unreachable fallback: bits > 0 here
+}
+
+BigInt ModContext::exp_any(const BigInt& base, const BigInt& e, std::uint64_t& muls) const {
+  if (e.negative()) return exp_any(mod_inverse(base, n_), -e, muls);
+  return mont_ ? exp_mont(base, e, muls) : exp_generic(base, e, muls);
+}
+
+BigInt ModContext::exp(const BigInt& base, const BigInt& e) const {
+  std::uint64_t muls = 0;
+  BigInt r = exp_any(base, e, muls);
+  g_exps.fetch_add(1, std::memory_order_relaxed);
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return r;
+}
+
+BigInt ModContext::exp_comb(const FixedBaseTable& table, const BigInt& e,
+                            std::uint64_t& muls) const {
+  const std::size_t d = table.block_;
+  std::vector<Limb> acc;
+  bool started = false;
+  for (std::size_t k = d; k-- > 0;) {
+    if (started) {
+      ++muls;
+      acc = mont_mul(acc, acc);
+    }
+    std::size_t digit = 0;
+    for (unsigned tooth = 0; tooth < table.teeth_; ++tooth) {
+      if (e.bit(tooth * d + k)) digit |= std::size_t{1} << tooth;
+    }
+    if (digit != 0) {
+      if (started) {
+        ++muls;
+        acc = mont_mul(acc, table.table_[digit]);
+      } else {
+        acc = table.table_[digit];
+        started = true;
+      }
+    }
+  }
+  if (!started) return BigInt{1}.mod(n_);  // e == 0
+  return from_mont(acc, muls);
+}
+
+BigInt ModContext::exp(const FixedBaseTable& table, const BigInt& e) const {
+  if (table.mod_fingerprint_ != n_.limbs()) {
+    throw std::invalid_argument("ModContext::exp: fixed-base table from another modulus");
+  }
+  std::uint64_t muls = 0;
+  BigInt r;
+  if (table.comb_available() && mont_ && !e.negative() &&
+      e.bit_length() <= table.bits_) {
+    r = exp_comb(table, e, muls);
+  } else {
+    r = exp_any(table.base_, e, muls);
+  }
+  g_exps.fetch_add(1, std::memory_order_relaxed);
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return r;
+}
+
+FixedBaseTable ModContext::make_fixed_base(const BigInt& base, std::size_t max_exp_bits,
+                                           unsigned teeth) const {
+  FixedBaseTable t;
+  t.base_ = base.mod(n_);
+  t.mod_fingerprint_ = n_.limbs();
+  t.bits_ = max_exp_bits == 0 ? 1 : max_exp_bits;
+  if (!mont_) return t;  // comb unavailable; exp() falls back to the ladder
+
+  const unsigned h = teeth == 0 ? 6 : (teeth > 8 ? 8 : teeth);
+  t.teeth_ = h;
+  t.block_ = (t.bits_ + h - 1) / h;
+
+  std::uint64_t muls = 0;
+  // P[i] = base^(2^(i*d)) in Montgomery form.
+  std::vector<std::vector<Limb>> p(h);
+  p[0] = to_mont(t.base_, muls);
+  for (unsigned i = 1; i < h; ++i) {
+    p[i] = p[i - 1];
+    for (std::size_t s = 0; s < t.block_; ++s) {
+      ++muls;
+      p[i] = mont_mul(p[i], p[i]);
+    }
+  }
+  // T[j] = prod over set bits i of j: P[i]; filled via lowest-set-bit split.
+  t.table_.assign(std::size_t{1} << h, {});
+  t.table_[0] = one_mont_;
+  for (std::size_t j = 1; j < t.table_.size(); ++j) {
+    unsigned low = 0;
+    while (((j >> low) & 1U) == 0) ++low;
+    const std::size_t rest = j & (j - 1);
+    if (rest == 0) {
+      t.table_[j] = p[low];
+    } else {
+      ++muls;
+      t.table_[j] = mont_mul(t.table_[rest], p[low]);
+    }
+  }
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return t;
+}
+
+bool sqrt_mod_p3(const ModContext& ctx, const BigInt& a, BigInt& out) {
+  const BigInt& p = ctx.modulus();
+  if ((p.low_u64() & 3U) != 3U) {
+    throw std::domain_error("sqrt_mod_p3: requires p % 4 == 3");
+  }
+  const BigInt candidate = ctx.exp(a.mod(p), (p + BigInt{1}) >> 2);
+  if (ctx.mul(candidate, candidate) != a.mod(p)) return false;
+  out = candidate;
+  return true;
+}
+
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (m.negative()) throw std::domain_error("mod_exp: negative modulus");
+  if (m.is_one()) return BigInt{};
+  // Compatibility shim: every call pays a full context derivation. Hot paths
+  // construct a ModContext once and reuse it.
+  return ModContext(m).exp(base, exp);
+}
+
+}  // namespace idgka::mpint

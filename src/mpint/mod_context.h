@@ -1,0 +1,153 @@
+// ModContext — the shared modular-arithmetic context layer.
+//
+// Every protocol in the repository (BD, ING, SSN, the proposed GKA, GQ/DSA
+// signatures, EC field arithmetic, the pairing field) bottoms out in modular
+// multiplication and exponentiation. A ModContext is an immutable per-modulus
+// object that derives everything expensive exactly once — Montgomery
+// constants (n', R^2, limb count) for odd moduli — and exposes:
+//
+//   * mul/exp/inv with a fixed k-ary window (k = 4 or 5, chosen from the
+//     modulus size, overridable) running entirely in the Montgomery domain;
+//   * an optional fixed-base comb table (make_fixed_base / exp overload) for
+//     the repeated-generator case — the GKA hot path, where every member
+//     exponentiates the same g — trading O(2^teeth) precomputed entries for
+//     ~teeth-fold fewer multiplications per call;
+//   * an even-modulus fallback (generic windowed exponentiation over
+//     schoolbook mod-mul) so the layer covers the full mod_exp contract.
+//
+// Long-lived callers (gka::SystemParams, sig::GqPkg, ec::Curve,
+// pairing::Fp2Ctx, pki::CertificateAuthority) construct contexts once and
+// thread `const ModContext&` down; mpint::mod_exp remains as a compatibility
+// shim that builds a transient context per call. The context is the single
+// seam for any future backend swap (GMP, fixed-width limbs, SIMD).
+//
+// The layer also keeps process-wide operation counters (exponentiations and
+// low-level modular multiplications, folded in once per public call) so the
+// simulation metrics can separate crypto cost from event-loop cost. Totals
+// are order-independent sums and therefore deterministic under multithreaded
+// protocol runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpint/bigint.h"
+
+namespace idgka::mpint {
+
+/// Process-wide crypto work counters (monotonic totals; take two snapshots
+/// and subtract to attribute work to a region).
+struct OpCounts {
+  std::uint64_t exps = 0;      ///< public exponentiation calls
+  std::uint64_t mod_muls = 0;  ///< low-level modular multiplications
+};
+
+/// Snapshot of the process-wide counters.
+[[nodiscard]] OpCounts op_counts();
+
+class ModContext;
+
+/// Precomputed comb table for one (context, base, exponent-width) triple.
+/// Built by ModContext::make_fixed_base; consumed by the exp overload.
+/// Copyable value type; entries live in the Montgomery domain of the owning
+/// context's modulus (a modulus fingerprint is kept and checked on use).
+class FixedBaseTable {
+ public:
+  [[nodiscard]] const BigInt& base() const { return base_; }
+  /// Widest exponent (in bits) the comb covers; wider falls back to the
+  /// generic ladder.
+  [[nodiscard]] std::size_t max_exp_bits() const { return bits_; }
+  [[nodiscard]] unsigned teeth() const { return teeth_; }
+  /// True when the comb is usable (odd modulus); false means every exp via
+  /// this table takes the generic path.
+  [[nodiscard]] bool comb_available() const { return teeth_ != 0; }
+  /// Memory footprint of the precomputed entries.
+  [[nodiscard]] std::size_t table_bytes() const;
+
+ private:
+  friend class ModContext;
+  using Limb = BigInt::Limb;
+
+  BigInt base_;
+  std::vector<Limb> mod_fingerprint_;  // limbs of the modulus it was built for
+  std::size_t bits_ = 0;               // exponent coverage
+  std::size_t block_ = 0;              // comb block size d = ceil(bits / teeth)
+  unsigned teeth_ = 0;                 // 0 = comb unavailable
+  std::vector<std::vector<Limb>> table_;  // [2^teeth] Montgomery-domain entries
+};
+
+/// Immutable per-modulus modular-arithmetic context. Valid for any modulus
+/// > 1; odd moduli get the Montgomery fast path, even moduli a generic one.
+class ModContext {
+ public:
+  /// `window_bits` = 0 picks automatically (4, or 5 for moduli >= 512 bits);
+  /// explicit values are clamped to [2, 8]. The value is an upper bound —
+  /// exp() shrinks the window for short exponents so the 2^w-entry table
+  /// pays for itself. Throws std::invalid_argument unless modulus > 1.
+  explicit ModContext(BigInt modulus, unsigned window_bits = 0);
+
+  [[nodiscard]] const BigInt& modulus() const { return n_; }
+  [[nodiscard]] unsigned window_bits() const { return window_; }
+  /// True when the Montgomery fast path is active (odd modulus).
+  [[nodiscard]] bool montgomery() const { return mont_; }
+
+  /// (a * b) mod n for any a, b (reduced internally).
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// base^e mod n. Negative e inverts the base first (throws
+  /// std::domain_error when not invertible). Fixed k-ary window.
+  [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& e) const;
+
+  /// Fixed-base exponentiation through a comb table built by
+  /// make_fixed_base. Falls back to the generic ladder when the exponent is
+  /// negative or wider than the table, or the comb is unavailable. Throws
+  /// std::invalid_argument when the table belongs to a different modulus.
+  [[nodiscard]] BigInt exp(const FixedBaseTable& table, const BigInt& e) const;
+
+  /// a^(-1) mod n; throws std::domain_error if not invertible.
+  [[nodiscard]] BigInt inv(const BigInt& a) const;
+
+  /// Builds a comb table for repeated exponentiation of `base` with
+  /// exponents up to `max_exp_bits` bits. `teeth` = 0 picks the default (6:
+  /// 64 entries, ~6x fewer multiplications than the plain ladder). Entry
+  /// count is 2^teeth; teeth is clamped to [1, 8].
+  [[nodiscard]] FixedBaseTable make_fixed_base(const BigInt& base,
+                                               std::size_t max_exp_bits,
+                                               unsigned teeth = 0) const;
+
+ private:
+  using Limb = BigInt::Limb;
+
+  // Montgomery machinery (odd moduli). `muls` accumulates the number of
+  // low-level multiplications locally; public entry points fold it into the
+  // process-wide counter once per call.
+  [[nodiscard]] std::vector<Limb> to_mont(const BigInt& a, std::uint64_t& muls) const;
+  [[nodiscard]] BigInt from_mont(const std::vector<Limb>& a, std::uint64_t& muls) const;
+  [[nodiscard]] std::vector<Limb> mont_mul(const std::vector<Limb>& a,
+                                           const std::vector<Limb>& b) const;
+  [[nodiscard]] BigInt exp_mont(const BigInt& base, const BigInt& e,
+                                std::uint64_t& muls) const;
+  [[nodiscard]] BigInt exp_comb(const FixedBaseTable& table, const BigInt& e,
+                                std::uint64_t& muls) const;
+  // Generic path (even moduli): windowed square-and-multiply over mod_mul.
+  [[nodiscard]] BigInt exp_generic(const BigInt& base, const BigInt& e,
+                                   std::uint64_t& muls) const;
+  [[nodiscard]] BigInt exp_any(const BigInt& base, const BigInt& e,
+                               std::uint64_t& muls) const;
+
+  BigInt n_;
+  bool mont_ = false;
+  unsigned window_ = 4;
+  std::vector<Limb> n_limbs_;
+  std::size_t k_ = 0;           // limb count of the modulus
+  Limb n0_inv_ = 0;             // -n^{-1} mod 2^64 (Montgomery only)
+  BigInt rr_;                   // R^2 mod n, R = 2^(64k)
+  std::vector<Limb> one_mont_;  // R mod n
+};
+
+/// Square root modulo a prime p with p % 4 == 3, through a caller-cached
+/// context for p (the bigint.h overload derives a transient context per
+/// call). On success sets `out` and returns true.
+bool sqrt_mod_p3(const ModContext& ctx, const BigInt& a, BigInt& out);
+
+}  // namespace idgka::mpint

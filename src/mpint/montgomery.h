@@ -1,15 +1,18 @@
-// Montgomery-form modular arithmetic for odd moduli.
+// Montgomery-form modular arithmetic for odd moduli — compatibility wrapper.
 //
-// All heavy exponentiation in the repository (GQ signatures, BD key
-// agreement, DSA, SSN) goes through MontgomeryCtx::pow, a CIOS Montgomery
-// multiplier with a fixed 4-bit window. Constructing a context is O(size^2);
-// callers cache one context per long-lived modulus (see gka::SystemParams).
+// The implementation lives in mpint::ModContext (mod_context.h), the shared
+// per-modulus context layer: cached Montgomery constants, k-ary windowed
+// exponentiation and optional fixed-base comb tables. MontgomeryCtx remains
+// as the historical odd-modulus-only facade; new code should hold a
+// ModContext (and a FixedBaseTable for repeated-generator exponentiation)
+// directly. Constructing a context is O(size^2); callers cache one context
+// per long-lived modulus (see gka::SystemParams).
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include <stdexcept>
 
 #include "mpint/bigint.h"
+#include "mpint/mod_context.h"
 
 namespace idgka::mpint {
 
@@ -17,34 +20,34 @@ namespace idgka::mpint {
 class MontgomeryCtx {
  public:
   /// Throws std::invalid_argument unless modulus is odd and > 1.
-  explicit MontgomeryCtx(BigInt modulus);
+  explicit MontgomeryCtx(BigInt modulus) : ctx_(require_odd(std::move(modulus))) {}
 
-  [[nodiscard]] const BigInt& modulus() const { return n_; }
+  [[nodiscard]] const BigInt& modulus() const { return ctx_.modulus(); }
 
-  /// (a * b) mod n. Accepts any non-negative a, b < n.
-  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+  /// (a * b) mod n. Accepts any a, b (reduced internally).
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const { return ctx_.mul(a, b); }
 
-  /// base^exp mod n, exp >= 0. Fixed 4-bit-window ladder.
-  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+  /// base^exp mod n, exp >= 0. Fixed-window Montgomery ladder.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const {
+    if (exp.negative()) throw std::domain_error("MontgomeryCtx::pow: negative exponent");
+    return ctx_.exp(base, exp);
+  }
 
   /// a^(-1) mod n; throws std::domain_error if not invertible.
-  [[nodiscard]] BigInt inv(const BigInt& a) const;
+  [[nodiscard]] BigInt inv(const BigInt& a) const { return ctx_.inv(a); }
+
+  /// The underlying shared context (for callers migrating off the wrapper).
+  [[nodiscard]] const ModContext& context() const { return ctx_; }
 
  private:
-  using Limb = BigInt::Limb;
+  static BigInt require_odd(BigInt modulus) {
+    if (modulus.is_even() || modulus <= BigInt{1}) {
+      throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+    }
+    return modulus;
+  }
 
-  [[nodiscard]] std::vector<Limb> to_mont(const BigInt& a) const;
-  [[nodiscard]] BigInt from_mont(const std::vector<Limb>& a) const;
-  // CIOS multiply of two Montgomery-form operands (length k_ each).
-  [[nodiscard]] std::vector<Limb> mont_mul(const std::vector<Limb>& a,
-                                           const std::vector<Limb>& b) const;
-
-  BigInt n_;
-  std::vector<Limb> n_limbs_;
-  std::size_t k_ = 0;   // limb count of the modulus
-  Limb n0_inv_ = 0;     // -n^{-1} mod 2^64
-  BigInt rr_;           // R^2 mod n, R = 2^(64k)
-  std::vector<Limb> one_mont_;  // R mod n
+  ModContext ctx_;
 };
 
 }  // namespace idgka::mpint

@@ -3,7 +3,7 @@
 #include <array>
 #include <stdexcept>
 
-#include "mpint/montgomery.h"
+#include "mpint/mod_context.h"
 
 namespace idgka::mpint {
 
@@ -48,10 +48,10 @@ bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
     ++s;
   }
 
-  const MontgomeryCtx ctx(n);
+  const ModContext ctx(n);
   for (int round = 0; round < rounds; ++round) {
     const BigInt a = random_range(rng, BigInt{2}, n_minus_1);
-    BigInt x = ctx.pow(a, d);
+    BigInt x = ctx.exp(a, d);
     if (x.is_one() || x == n_minus_1) continue;
     bool witness = true;
     for (std::size_t i = 1; i < s; ++i) {
@@ -93,10 +93,10 @@ SchnorrGroup generate_schnorr_group(Rng& rng, std::size_t p_bits, std::size_t q_
     grp.p = std::move(p);
     // Generator of the order-q subgroup.
     const BigInt exponent = (grp.p - BigInt{1}) / grp.q;
-    const MontgomeryCtx ctx(grp.p);
+    const ModContext ctx(grp.p);
     while (true) {
       const BigInt h = random_range(rng, BigInt{2}, grp.p - BigInt{1});
-      BigInt g = ctx.pow(h, exponent);
+      BigInt g = ctx.exp(h, exponent);
       if (!g.is_one()) {
         grp.g = std::move(g);
         return grp;

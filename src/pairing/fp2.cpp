@@ -4,7 +4,7 @@
 
 namespace idgka::pairing {
 
-Fp2Ctx::Fp2Ctx(BigInt p) : p_(std::move(p)) {
+Fp2Ctx::Fp2Ctx(BigInt p) : p_(std::move(p)), fctx_(p_) {
   if ((p_.low_u64() & 3U) != 3U) {
     throw std::invalid_argument("Fp2Ctx: requires p % 4 == 3");
   }
@@ -56,7 +56,7 @@ Fp2 Fp2Ctx::inv(const Fp2& a) const {
   // (a0 - a1 i) / (a0^2 + a1^2)
   const BigInt norm = fadd(fmul(a.re, a.re), fmul(a.im, a.im));
   if (norm.is_zero()) throw std::domain_error("Fp2Ctx::inv: zero element");
-  const BigInt ninv = mpint::mod_inverse(norm, p_);
+  const BigInt ninv = fctx_.inv(norm);
   const Fp2 c = conj(a);
   return Fp2{fmul(c.re, ninv), fmul(c.im, ninv)};
 }

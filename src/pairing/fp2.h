@@ -7,6 +7,7 @@
 #pragma once
 
 #include "mpint/bigint.h"
+#include "mpint/mod_context.h"
 
 namespace idgka::pairing {
 
@@ -27,6 +28,11 @@ class Fp2Ctx {
   explicit Fp2Ctx(BigInt p);
 
   [[nodiscard]] const BigInt& p() const { return p_; }
+  /// Cached modular context for the base field F_p — the seam for callers
+  /// doing exponentiation-shaped F_p work next to the pairing. Derived once
+  /// per group; single field multiplies stay on schoolbook mul + reduce,
+  /// which measures faster than a Montgomery round trip at these sizes.
+  [[nodiscard]] const mpint::ModContext& fp() const { return fctx_; }
 
   [[nodiscard]] Fp2 one() const { return Fp2{BigInt{1}, BigInt{}}; }
   [[nodiscard]] Fp2 make(BigInt re, BigInt im) const;
@@ -49,6 +55,7 @@ class Fp2Ctx {
   [[nodiscard]] BigInt fmul(const BigInt& a, const BigInt& b) const;
 
   BigInt p_;
+  mpint::ModContext fctx_;  // per-field context (Montgomery constants)
 };
 
 }  // namespace idgka::pairing

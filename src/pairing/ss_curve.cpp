@@ -32,7 +32,7 @@ ec::Point hash_to_subgroup(const mpint::SupersingularParams& params, const ec::C
                            .mod(params.p);
     if (rhs.is_zero()) continue;  // would give 2-torsion point
     BigInt y;
-    if (!mpint::sqrt_mod_p3(rhs, params.p, y)) continue;
+    if (!mpint::sqrt_mod_p3(curve->field(), rhs, y)) continue;
     ec::Point pt{x, y, false};
     // Clear the cofactor; the result has order q (or is O if pt was in the
     // complementary subgroup — retry then).

@@ -33,8 +33,16 @@ std::size_t Certificate::wire_size() const {
 }
 
 CertificateAuthority::CertificateAuthority(sig::DsaParams params, mpint::Rng& rng)
-    : algorithm_(CertAlgorithm::kDsa), dsa_params_(std::move(params)) {
-  dsa_key_ = sig::dsa_generate_keypair(*dsa_params_, rng);
+    : CertificateAuthority(std::move(params), nullptr, rng) {}
+
+CertificateAuthority::CertificateAuthority(sig::DsaParams params,
+                                           std::shared_ptr<const mpint::ModContext> ctx_p,
+                                           mpint::Rng& rng)
+    : algorithm_(CertAlgorithm::kDsa),
+      dsa_params_(std::move(params)),
+      dsa_ctx_(std::move(ctx_p)) {
+  if (!dsa_ctx_) dsa_ctx_ = std::make_shared<const mpint::ModContext>(dsa_params_->p);
+  dsa_key_ = sig::dsa_generate_keypair(*dsa_params_, *dsa_ctx_, rng);
 }
 
 CertificateAuthority::CertificateAuthority(const ec::Curve& curve, mpint::Rng& rng)
@@ -54,7 +62,7 @@ Certificate CertificateAuthority::issue(std::uint32_t subject_id,
   cert.subject_public_key = std::move(public_key);
   const auto tbs = cert.tbs_bytes();
   if (algorithm_ == CertAlgorithm::kDsa) {
-    const auto sig = sig::dsa_sign(*dsa_params_, *dsa_key_, tbs, rng);
+    const auto sig = sig::dsa_sign(*dsa_params_, *dsa_ctx_, *dsa_key_, tbs, rng);
     cert.sig_r = sig.r;
     cert.sig_s = sig.s;
   } else {
@@ -71,7 +79,7 @@ bool CertificateAuthority::verify(const Certificate& cert, std::uint64_t at_time
   if (when < cert.not_before || when > cert.not_after) return false;
   const auto tbs = cert.tbs_bytes();
   if (algorithm_ == CertAlgorithm::kDsa) {
-    return sig::dsa_verify(*dsa_params_, dsa_key_->y, tbs,
+    return sig::dsa_verify(*dsa_params_, *dsa_ctx_, dsa_key_->y, tbs,
                            sig::DsaSignature{cert.sig_r, cert.sig_s});
   }
   return sig::ecdsa_verify(*curve_, ec_key_->q, tbs,

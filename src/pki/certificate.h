@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -47,8 +48,12 @@ struct Certificate {
 /// A certificate authority holding a DSA or ECDSA issuing key.
 class CertificateAuthority {
  public:
-  /// DSA-issuing CA.
+  /// DSA-issuing CA; derives its own mod-p context.
   CertificateAuthority(sig::DsaParams params, mpint::Rng& rng);
+  /// DSA-issuing CA sharing a caller-owned mod-p context for `params.p`
+  /// (gka::Authority already caches one for the same parameters).
+  CertificateAuthority(sig::DsaParams params,
+                       std::shared_ptr<const mpint::ModContext> ctx_p, mpint::Rng& rng);
   /// ECDSA-issuing CA on the given curve.
   CertificateAuthority(const ec::Curve& curve, mpint::Rng& rng);
 
@@ -66,6 +71,7 @@ class CertificateAuthority {
   CertAlgorithm algorithm_;
   // DSA state
   std::optional<sig::DsaParams> dsa_params_;
+  std::shared_ptr<const mpint::ModContext> dsa_ctx_;  ///< cached mod-p context
   std::optional<sig::DsaKeyPair> dsa_key_;
   // ECDSA state
   const ec::Curve* curve_ = nullptr;

@@ -1,11 +1,20 @@
 #include "sig/dsa.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "hash/sha256.h"
-#include "mpint/montgomery.h"
 
 namespace idgka::sig {
 
 namespace {
+
+void require_ctx_p(const DsaParams& params, const mpint::ModContext& ctx_p,
+                   const char* where) {
+  if (ctx_p.modulus() != params.p) {
+    throw std::invalid_argument(std::string(where) + ": context modulus does not match params.p");
+  }
+}
 
 // SHA-256(message) truncated to the bit length of q, per FIPS 186-4 §4.2.
 BigInt message_digest(const BigInt& q, std::span<const std::uint8_t> message) {
@@ -24,19 +33,27 @@ DsaParams dsa_generate_params(mpint::Rng& rng, std::size_t p_bits, std::size_t q
   return DsaParams{grp.p, grp.q, grp.g};
 }
 
-DsaKeyPair dsa_generate_keypair(const DsaParams& params, mpint::Rng& rng) {
+DsaKeyPair dsa_generate_keypair(const DsaParams& params, const mpint::ModContext& ctx_p,
+                                mpint::Rng& rng) {
+  require_ctx_p(params, ctx_p, "dsa_generate_keypair");
   DsaKeyPair kp;
   kp.x = mpint::random_range(rng, BigInt{1}, params.q);
-  kp.y = mpint::mod_exp(params.g, kp.x, params.p);
+  kp.y = ctx_p.exp(params.g, kp.x);
   return kp;
 }
 
-DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
-                      std::span<const std::uint8_t> message, mpint::Rng& rng) {
+DsaKeyPair dsa_generate_keypair(const DsaParams& params, mpint::Rng& rng) {
+  return dsa_generate_keypair(params, mpint::ModContext(params.p), rng);
+}
+
+DsaSignature dsa_sign(const DsaParams& params, const mpint::ModContext& ctx_p,
+                      const DsaKeyPair& key, std::span<const std::uint8_t> message,
+                      mpint::Rng& rng) {
+  require_ctx_p(params, ctx_p, "dsa_sign");
   const BigInt z = message_digest(params.q, message);
   while (true) {
     const BigInt k = mpint::random_range(rng, BigInt{1}, params.q);
-    const BigInt r = mpint::mod_exp(params.g, k, params.p).mod(params.q);
+    const BigInt r = ctx_p.exp(params.g, k).mod(params.q);
     if (r.is_zero()) continue;
     const BigInt k_inv = mpint::mod_inverse(k, params.q);
     const BigInt s = mpint::mod_mul(k_inv, (z + key.x * r).mod(params.q), params.q);
@@ -45,17 +62,27 @@ DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
   }
 }
 
-bool dsa_verify(const DsaParams& params, const BigInt& y,
+DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
+                      std::span<const std::uint8_t> message, mpint::Rng& rng) {
+  return dsa_sign(params, mpint::ModContext(params.p), key, message, rng);
+}
+
+bool dsa_verify(const DsaParams& params, const mpint::ModContext& ctx_p, const BigInt& y,
                 std::span<const std::uint8_t> message, const DsaSignature& sig) {
+  require_ctx_p(params, ctx_p, "dsa_verify");
   if (sig.r <= BigInt{} || sig.r >= params.q) return false;
   if (sig.s <= BigInt{} || sig.s >= params.q) return false;
   const BigInt z = message_digest(params.q, message);
   const BigInt w = mpint::mod_inverse(sig.s, params.q);
   const BigInt u1 = mpint::mod_mul(z, w, params.q);
   const BigInt u2 = mpint::mod_mul(sig.r, w, params.q);
-  const mpint::MontgomeryCtx ctx(params.p);
-  const BigInt v = ctx.mul(ctx.pow(params.g, u1), ctx.pow(y, u2)).mod(params.q);
+  const BigInt v = ctx_p.mul(ctx_p.exp(params.g, u1), ctx_p.exp(y, u2)).mod(params.q);
   return v == sig.r;
+}
+
+bool dsa_verify(const DsaParams& params, const BigInt& y,
+                std::span<const std::uint8_t> message, const DsaSignature& sig) {
+  return dsa_verify(params, mpint::ModContext(params.p), y, message, sig);
 }
 
 std::size_t dsa_signature_bits(const DsaParams& params) { return 2 * params.q.bit_length(); }

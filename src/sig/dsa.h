@@ -6,6 +6,7 @@
 #include <span>
 
 #include "mpint/bigint.h"
+#include "mpint/mod_context.h"
 #include "mpint/prime.h"
 #include "mpint/random.h"
 
@@ -34,14 +35,28 @@ struct DsaSignature {
 [[nodiscard]] DsaParams dsa_generate_params(mpint::Rng& rng, std::size_t p_bits,
                                             std::size_t q_bits, int mr_rounds = 32);
 
-/// Generates a key pair under `params`.
+/// Generates a key pair under `params`, reusing the caller's mod-p context.
+[[nodiscard]] DsaKeyPair dsa_generate_keypair(const DsaParams& params,
+                                              const mpint::ModContext& ctx_p,
+                                              mpint::Rng& rng);
+/// Compatibility shim: derives a transient mod-p context per call.
 [[nodiscard]] DsaKeyPair dsa_generate_keypair(const DsaParams& params, mpint::Rng& rng);
 
-/// Signs SHA-256(message) truncated to |q| bits.
+/// Signs SHA-256(message) truncated to |q| bits, reusing the caller's mod-p
+/// context.
+[[nodiscard]] DsaSignature dsa_sign(const DsaParams& params, const mpint::ModContext& ctx_p,
+                                    const DsaKeyPair& key,
+                                    std::span<const std::uint8_t> message, mpint::Rng& rng);
+/// Compatibility shim: derives a transient mod-p context per call.
 [[nodiscard]] DsaSignature dsa_sign(const DsaParams& params, const DsaKeyPair& key,
                                     std::span<const std::uint8_t> message, mpint::Rng& rng);
 
-/// Verifies a signature against public key `y`.
+/// Verifies a signature against public key `y`, reusing the caller's mod-p
+/// context.
+[[nodiscard]] bool dsa_verify(const DsaParams& params, const mpint::ModContext& ctx_p,
+                              const BigInt& y, std::span<const std::uint8_t> message,
+                              const DsaSignature& sig);
+/// Compatibility shim: derives a transient mod-p context per call.
 [[nodiscard]] bool dsa_verify(const DsaParams& params, const BigInt& y,
                               std::span<const std::uint8_t> message, const DsaSignature& sig);
 

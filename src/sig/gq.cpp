@@ -47,21 +47,31 @@ GqPkg::GqPkg(mpint::GqModulus modulus)
     : key_(std::move(modulus)), params_{key_.n, key_.e}, ctx_(key_.n) {}
 
 BigInt GqPkg::extract(std::uint32_t id) const {
-  return ctx_.pow(gq_hash_id(params_, id), key_.d);
+  return ctx_.exp(gq_hash_id(params_, id), key_.d);
 }
 
 GqSigner::GqSigner(GqParams params, std::uint32_t id, BigInt secret_key)
-    : params_(std::move(params)), id_(id), secret_(std::move(secret_key)), ctx_(params_.n) {}
+    : GqSigner(std::move(params), id, std::move(secret_key), nullptr) {}
+
+GqSigner::GqSigner(GqParams params, std::uint32_t id, BigInt secret_key,
+                   std::shared_ptr<const mpint::ModContext> ctx)
+    : params_(std::move(params)), id_(id), secret_(std::move(secret_key)), ctx_(std::move(ctx)) {
+  if (!ctx_) {
+    ctx_ = std::make_shared<const mpint::ModContext>(params_.n);
+  } else if (ctx_->modulus() != params_.n) {
+    throw std::invalid_argument("GqSigner: context modulus does not match params.n");
+  }
+}
 
 GqSigner::Commitment GqSigner::commit(mpint::Rng& rng) const {
   Commitment c;
   c.tau = mpint::random_unit(rng, params_.n);
-  c.t = ctx_.pow(c.tau, params_.e);
+  c.t = ctx_->exp(c.tau, params_.e);
   return c;
 }
 
 BigInt GqSigner::respond(const Commitment& commitment, const BigInt& c) const {
-  return ctx_.mul(commitment.tau, ctx_.pow(secret_, c));
+  return ctx_->mul(commitment.tau, ctx_->exp(secret_, c));
 }
 
 GqSignature GqSigner::sign(std::span<const std::uint8_t> message, mpint::Rng& rng) const {
@@ -70,27 +80,36 @@ GqSignature GqSigner::sign(std::span<const std::uint8_t> message, mpint::Rng& rn
   return GqSignature{respond(commitment, c), c};
 }
 
-bool gq_verify(const GqParams& params, std::uint32_t id,
+bool gq_verify(const GqParams& params, const mpint::ModContext& ctx, std::uint32_t id,
                std::span<const std::uint8_t> message, const GqSignature& sig) {
+  if (ctx.modulus() != params.n) {
+    throw std::invalid_argument("gq_verify: context modulus does not match params.n");
+  }
   if (sig.s.is_zero() || sig.s >= params.n || sig.s.negative()) return false;
-  const mpint::MontgomeryCtx ctx(params.n);
   // t' = s^e * H(ID)^{-c} mod n
   const BigInt hid = gq_hash_id(params, id);
   BigInt t_prime;
   try {
-    t_prime = ctx.mul(ctx.pow(sig.s, params.e),
-                      ctx.pow(mpint::mod_inverse(hid, params.n), sig.c));
+    t_prime = ctx.mul(ctx.exp(sig.s, params.e),
+                      ctx.exp(mpint::mod_inverse(hid, params.n), sig.c));
   } catch (const std::domain_error&) {
     return false;
   }
   return gq_challenge(t_prime.to_bytes_be(), message) == sig.c;
 }
 
-bool gq_batch_verify(const GqParams& params, std::span<const std::uint32_t> ids,
-                     std::span<const BigInt> s_values, const BigInt& c,
-                     std::span<const std::uint8_t> z_bytes) {
+bool gq_verify(const GqParams& params, std::uint32_t id,
+               std::span<const std::uint8_t> message, const GqSignature& sig) {
+  return gq_verify(params, mpint::ModContext(params.n), id, message, sig);
+}
+
+bool gq_batch_verify(const GqParams& params, const mpint::ModContext& ctx,
+                     std::span<const std::uint32_t> ids, std::span<const BigInt> s_values,
+                     const BigInt& c, std::span<const std::uint8_t> z_bytes) {
+  if (ctx.modulus() != params.n) {
+    throw std::invalid_argument("gq_batch_verify: context modulus does not match params.n");
+  }
   if (ids.size() != s_values.size() || ids.empty()) return false;
-  const mpint::MontgomeryCtx ctx(params.n);
   BigInt s_prod{1};
   BigInt h_prod{1};
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -102,12 +121,18 @@ bool gq_batch_verify(const GqParams& params, std::span<const std::uint32_t> ids,
   }
   BigInt t_prime;
   try {
-    t_prime = ctx.mul(ctx.pow(s_prod, params.e),
-                      ctx.pow(mpint::mod_inverse(h_prod, params.n), c));
+    t_prime = ctx.mul(ctx.exp(s_prod, params.e),
+                      ctx.exp(mpint::mod_inverse(h_prod, params.n), c));
   } catch (const std::domain_error&) {
     return false;
   }
   return gq_challenge(t_prime.to_bytes_be(), z_bytes) == c;
+}
+
+bool gq_batch_verify(const GqParams& params, std::span<const std::uint32_t> ids,
+                     std::span<const BigInt> s_values, const BigInt& c,
+                     std::span<const std::uint8_t> z_bytes) {
+  return gq_batch_verify(params, mpint::ModContext(params.n), ids, s_values, c, z_bytes);
 }
 
 std::size_t gq_signature_bits(const GqParams& params) {

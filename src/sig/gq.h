@@ -14,11 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "mpint/bigint.h"
-#include "mpint/montgomery.h"
+#include "mpint/mod_context.h"
 #include "mpint/prime.h"
 #include "mpint/random.h"
 
@@ -64,13 +65,19 @@ class GqPkg {
  private:
   mpint::GqModulus key_;
   GqParams params_;
-  mpint::MontgomeryCtx ctx_;
+  mpint::ModContext ctx_;
 };
 
 /// Per-user signing context holding the ID-based secret S_ID.
 class GqSigner {
  public:
+  /// Builds a private mod-n context for the signer's modulus.
   GqSigner(GqParams params, std::uint32_t id, BigInt secret_key);
+  /// Shares a caller-owned mod-n context (the GKA protocols construct one
+  /// signer per member per round; re-deriving Montgomery state each time
+  /// would dominate the signing cost).
+  GqSigner(GqParams params, std::uint32_t id, BigInt secret_key,
+           std::shared_ptr<const mpint::ModContext> ctx);
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
   [[nodiscard]] const GqParams& params() const { return params_; }
@@ -92,16 +99,26 @@ class GqSigner {
   GqParams params_;
   std::uint32_t id_;
   BigInt secret_;
-  mpint::MontgomeryCtx ctx_;
+  std::shared_ptr<const mpint::ModContext> ctx_;
 };
 
-/// Verifies a standalone signature: c == H(s^e * H(ID)^{-c} || M).
+/// Verifies a standalone signature: c == H(s^e * H(ID)^{-c} || M), reusing
+/// the caller's mod-n context.
+[[nodiscard]] bool gq_verify(const GqParams& params, const mpint::ModContext& ctx,
+                             std::uint32_t id, std::span<const std::uint8_t> message,
+                             const GqSignature& sig);
+/// Compatibility shim: derives a transient mod-n context per call.
 [[nodiscard]] bool gq_verify(const GqParams& params, std::uint32_t id,
                              std::span<const std::uint8_t> message, const GqSignature& sig);
 
 /// Batch verification (Eq. 2 of the paper). All signers share challenge `c`;
 /// `z_bytes` is the serialized Z that was hashed into the challenge.
 /// Checks c == H((prod s_i)^e * (prod H(U_i))^{-c} mod n || Z).
+[[nodiscard]] bool gq_batch_verify(const GqParams& params, const mpint::ModContext& ctx,
+                                   std::span<const std::uint32_t> ids,
+                                   std::span<const BigInt> s_values, const BigInt& c,
+                                   std::span<const std::uint8_t> z_bytes);
+/// Compatibility shim: derives a transient mod-n context per call.
 [[nodiscard]] bool gq_batch_verify(const GqParams& params, std::span<const std::uint32_t> ids,
                                    std::span<const BigInt> s_values, const BigInt& c,
                                    std::span<const std::uint8_t> z_bytes);

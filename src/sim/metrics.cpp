@@ -91,6 +91,10 @@ std::string Metrics::to_json() const {
             first_death_us ? std::to_string(*first_death_us) : std::string("null"), false);
   out += ',';
   append_kv(out, "energy_total_mj", fmt_double(energy_total_mj), false);
+  out += "},\"crypto\":{";
+  append_kv(out, "exps", std::to_string(crypto_exps), false);
+  out += ',';
+  append_kv(out, "mod_muls", std::to_string(crypto_mod_muls), false);
   out += "},";
   append_kv(out, "all_members_agree", all_members_agree ? "true" : "false", false);
   out += ',';

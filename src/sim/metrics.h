@@ -53,6 +53,12 @@ struct Metrics {
   std::optional<SimTime> first_death_us;
   double energy_total_mj = 0.0;
 
+  /// Crypto work performed by the run (mpint::op_counts deltas, covering
+  /// authority setup + every protocol execution) — separates big-integer
+  /// cost from event-loop cost in bench trajectories.
+  std::uint64_t crypto_exps = 0;
+  std::uint64_t crypto_mod_muls = 0;
+
   bool all_members_agree = false;
   SimTime end_time_us = 0;
 

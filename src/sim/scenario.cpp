@@ -1,5 +1,8 @@
 #include "sim/scenario.h"
 
+#include "ec/curve.h"
+#include "mpint/mod_context.h"
+
 #include <algorithm>
 #include <cmath>
 #include <optional>
@@ -23,6 +26,9 @@ struct Run {
   const ScenarioConfig& cfg;
   Metrics metrics;
 
+  // Captured before the authority runs prime generation so the delta covers
+  // the whole run (declaration order matters).
+  mpint::OpCounts ops_start;
   gka::Authority authority;
   Scheduler scheduler;
   ProtocolDriver driver;
@@ -37,6 +43,7 @@ struct Run {
 
   explicit Run(const ScenarioConfig& config)
       : cfg(config),
+        ops_start(mpint::op_counts()),
         authority(config.profile, config.seed),
         driver(scheduler, config.driver, config.seed ^ 0x73696d647276ULL),
         bank(config.power),
@@ -187,6 +194,9 @@ struct Run {
     metrics.deaths = bank.deaths();
     metrics.first_death_us = bank.first_death_us();
     metrics.energy_total_mj = bank.total_consumed_mj();
+    const mpint::OpCounts ops_end = mpint::op_counts();
+    metrics.crypto_exps = ops_end.exps - ops_start.exps;
+    metrics.crypto_mod_muls = ops_end.mod_muls - ops_start.mod_muls;
     metrics.end_time_us = scheduler.now();
   }
 };
@@ -206,6 +216,13 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config) : cfg_(std::move(config)) 
 }
 
 Metrics ScenarioRunner::run() {
+  // Defensive: the named curves are lazily-initialized statics; force them
+  // out of the crypto-counter window so that any counted work their setup
+  // may ever perform cannot make the first run's delta differ from a
+  // same-seed repeat in the same process.
+  (void)ec::secp160r1();
+  (void)ec::p256();
+
   Run run(cfg_);
   run.metrics.scenario = cfg_.name;
   run.metrics.topology = cfg_.topology == Topology::kFlat ? "flat" : "hierarchical";

@@ -26,7 +26,7 @@ std::vector<std::uint32_t> make_ids(std::size_t n, std::uint32_t base = 200) {
 BigInt oracle_key(const GroupSession& session) {
   std::vector<BigInt> r;
   for (const MemberCtx& m : session.members()) r.push_back(m.r);
-  return bd::direct_key(session.authority().params(), r);
+  return bd::direct_key(session.authority().params().group(), r);
 }
 
 void expect_consistent(const GroupSession& session, const char* what) {

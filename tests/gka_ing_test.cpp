@@ -37,7 +37,7 @@ TEST_P(IngTest, AgreesOnProductKey) {
   const SystemParams& params = test_authority().params();
   BigInt exp{1};
   for (const auto& m : members) exp = mpint::mod_mul(exp, m.r, params.grp.q);
-  const BigInt oracle = params.mont_p->pow(params.grp.g, exp);
+  const BigInt oracle = params.gpow(exp);
   for (const auto& m : members) EXPECT_EQ(m.key, oracle);
 }
 

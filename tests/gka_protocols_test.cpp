@@ -27,7 +27,7 @@ std::vector<std::uint32_t> make_ids(std::size_t n, std::uint32_t base = 100) {
 BigInt oracle_key(const GroupSession& session) {
   std::vector<BigInt> r;
   for (const MemberCtx& m : session.members()) r.push_back(m.r);
-  return bd::direct_key(session.authority().params(), r);
+  return bd::direct_key(session.authority().params().group(), r);
 }
 
 struct SchemeCase {
@@ -147,29 +147,29 @@ TEST(BdMath, Lemma1AndReconstruction) {
   std::vector<BigInt> z(n);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = mpint::random_range(rng, BigInt{1}, params.grp.q);
-    z[i] = params.mont_p->pow(params.grp.g, r[i]);
+    z[i] = params.gpow(r[i]);
   }
   std::vector<BigInt> x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = bd::compute_x(params, z[(i + 1) % n], z[(i + n - 1) % n], r[i]);
+    x[i] = bd::compute_x(params.group(), z[(i + 1) % n], z[(i + n - 1) % n], r[i]);
   }
-  EXPECT_TRUE(bd::lemma1_holds(params, x));
-  const BigInt expected = bd::direct_key(params, r);
+  EXPECT_TRUE(bd::lemma1_holds(params.group(), x));
+  const BigInt expected = bd::direct_key(params.group(), r);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(bd::compute_key(params, z, x, i, r[i]), expected) << "member " << i;
+    EXPECT_EQ(bd::compute_key(params.group(), z, x, i, r[i]), expected) << "member " << i;
   }
   // Lemma 1 detects a corrupted X.
-  x[2] = params.mont_p->mul(x[2], params.grp.g);
-  EXPECT_FALSE(bd::lemma1_holds(params, x));
+  x[2] = params.ctx_p->mul(x[2], params.grp.g);
+  EXPECT_FALSE(bd::lemma1_holds(params.group(), x));
 }
 
 TEST(BdMath, RejectsDegenerateInputs) {
   const SystemParams& params = test_authority().params();
   std::vector<BigInt> one{BigInt{1}};
-  EXPECT_THROW((void)bd::direct_key(params, one), std::invalid_argument);
+  EXPECT_THROW((void)bd::direct_key(params.group(), one), std::invalid_argument);
   std::vector<BigInt> z(3, BigInt{1});
   std::vector<BigInt> x(2, BigInt{1});
-  EXPECT_THROW((void)bd::compute_key(params, z, x, 0, BigInt{1}), std::invalid_argument);
+  EXPECT_THROW((void)bd::compute_key(params.group(), z, x, 0, BigInt{1}), std::invalid_argument);
 }
 
 }  // namespace

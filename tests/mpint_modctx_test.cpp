@@ -1,0 +1,154 @@
+// Property tests for the shared modular-arithmetic context layer: ModContext
+// exponentiation cross-checked against naive square-and-multiply, the
+// even-modulus fallback path, fixed-base comb tables and the process-wide
+// operation counters.
+#include "mpint/mod_context.h"
+
+#include <gtest/gtest.h>
+
+#include "mpint/random.h"
+
+namespace idgka::mpint {
+namespace {
+
+// Reference oracle: plain square-and-multiply over mod_mul.
+BigInt naive_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt acc{1};
+  acc = acc.mod(m);
+  const BigInt b = base.mod(m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    acc = mod_mul(acc, acc, m);
+    if (exp.bit(i)) acc = mod_mul(acc, b, m);
+  }
+  return acc;
+}
+
+TEST(ModContext, RejectsDegenerateModulus) {
+  EXPECT_THROW(ModContext(BigInt{0}), std::invalid_argument);
+  EXPECT_THROW(ModContext(BigInt{1}), std::invalid_argument);
+  EXPECT_THROW(ModContext(BigInt{-7}), std::invalid_argument);
+  EXPECT_NO_THROW(ModContext(BigInt{2}));  // even moduli take the generic path
+}
+
+TEST(ModContext, ExpMatchesNaiveOn500RandomTriples) {
+  XoshiroRng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    // Mixed sizes (1..4 limbs) and parities: every 4th modulus is even, so
+    // both the Montgomery and the generic engine are exercised.
+    const std::size_t bits = 16 + static_cast<std::size_t>(rng.next_u64() % 240);
+    BigInt m = random_bits(rng, bits);
+    if (m <= BigInt{1}) m = BigInt{2};
+    if (i % 4 == 0) {
+      if (m.is_odd()) m += BigInt{1};
+    } else if (m.is_even()) {
+      m += BigInt{1};
+    }
+    const BigInt base = random_bits(rng, 8 + static_cast<std::size_t>(rng.next_u64() % 256));
+    const BigInt exp = random_bits(rng, 1 + static_cast<std::size_t>(rng.next_u64() % 160));
+    const ModContext ctx(m);
+    EXPECT_EQ(ctx.montgomery(), m.is_odd());
+    EXPECT_EQ(ctx.exp(base, exp), naive_pow(base, exp, m))
+        << "triple " << i << ": base=" << base.to_hex() << " exp=" << exp.to_hex()
+        << " m=" << m.to_hex();
+  }
+}
+
+TEST(ModContext, ExpEdgeCases) {
+  for (const std::uint64_t mod : {101ULL, 256ULL}) {  // odd + even-fallback
+    const BigInt m{mod};
+    const ModContext ctx(m);
+    EXPECT_EQ(ctx.exp(BigInt{5}, BigInt{0}), BigInt{1});           // exp = 0
+    EXPECT_EQ(ctx.exp(BigInt{5}, BigInt{1}), BigInt{5});           // exp = 1
+    EXPECT_EQ(ctx.exp(BigInt{0}, BigInt{5}), BigInt{});            // base = 0
+    EXPECT_EQ(ctx.exp(BigInt{0}, BigInt{0}), BigInt{1});           // 0^0 = 1
+    EXPECT_EQ(ctx.exp(m + BigInt{3}, BigInt{2}), BigInt{9});       // base >= m
+    EXPECT_EQ(ctx.exp(-BigInt{1}, BigInt{2}), BigInt{1});          // negative base
+  }
+  // Negative exponent inverts the base (odd modulus, invertible base).
+  const ModContext ctx(BigInt{101});
+  EXPECT_EQ(ctx.mul(ctx.exp(BigInt{7}, BigInt{-3}), ctx.exp(BigInt{7}, BigInt{3})), BigInt{1});
+  EXPECT_THROW((void)ctx.exp(BigInt{0}, BigInt{-1}), std::domain_error);
+}
+
+TEST(ModContext, ExponentLawsAcrossWindowSizes) {
+  XoshiroRng rng(31);
+  BigInt m = random_bits(rng, 512);
+  if (m.is_even()) m += BigInt{1};
+  const BigInt g = random_below(rng, m);
+  // Exponents wide enough (> 239 bits) that fit_window() keeps the
+  // configured width — otherwise w = 5/8 would silently re-test w = 4.
+  const BigInt a = random_bits(rng, 300);
+  const BigInt b = random_bits(rng, 300);
+  const BigInt want = ModContext(m).exp(g, a + b);
+  for (const unsigned w : {2U, 4U, 5U, 8U}) {
+    const ModContext ctx(m, w);
+    EXPECT_EQ(ctx.window_bits(), w);
+    EXPECT_EQ(ctx.mul(ctx.exp(g, a), ctx.exp(g, b)), want) << "window " << w;
+  }
+}
+
+TEST(ModContext, FixedBaseCombMatchesGenericExp) {
+  XoshiroRng rng(47);
+  for (int rep = 0; rep < 8; ++rep) {
+    BigInt m = random_bits(rng, 256 + static_cast<std::size_t>(rep) * 64);
+    if (m.is_even()) m += BigInt{1};
+    const ModContext ctx(m);
+    const BigInt g = random_below(rng, m);
+    const std::size_t exp_bits = 160;
+    for (const unsigned teeth : {0U, 3U, 6U}) {  // 0 = default
+      const FixedBaseTable table = ctx.make_fixed_base(g, exp_bits, teeth);
+      EXPECT_TRUE(table.comb_available());
+      EXPECT_GT(table.table_bytes(), 0U);
+      for (int i = 0; i < 12; ++i) {
+        const BigInt e = random_bits(rng, 1 + static_cast<std::size_t>(rng.next_u64() % exp_bits));
+        EXPECT_EQ(ctx.exp(table, e), ctx.exp(g, e)) << "teeth " << teeth;
+      }
+      // Edges: zero, one, all-ones at full width, and overflow fallback.
+      EXPECT_EQ(ctx.exp(table, BigInt{0}), BigInt{1});
+      EXPECT_EQ(ctx.exp(table, BigInt{1}), g.mod(m));
+      const BigInt full = (BigInt{1} << exp_bits) - BigInt{1};
+      EXPECT_EQ(ctx.exp(table, full), ctx.exp(g, full));
+      const BigInt wide = BigInt{1} << (exp_bits + 5);  // wider than the table
+      EXPECT_EQ(ctx.exp(table, wide), ctx.exp(g, wide));
+    }
+  }
+}
+
+TEST(ModContext, FixedBaseEvenModulusFallsBack) {
+  const ModContext ctx(BigInt{1000});
+  const FixedBaseTable table = ctx.make_fixed_base(BigInt{2}, 64);
+  EXPECT_FALSE(table.comb_available());
+  EXPECT_EQ(ctx.exp(table, BigInt{10}), BigInt{24});  // 2^10 mod 1000
+}
+
+TEST(ModContext, FixedBaseTableRejectsForeignModulus) {
+  const ModContext a(BigInt{101});
+  const ModContext b(BigInt{103});
+  const FixedBaseTable table = a.make_fixed_base(BigInt{5}, 32);
+  EXPECT_THROW((void)b.exp(table, BigInt{3}), std::invalid_argument);
+}
+
+TEST(ModContext, OpCountersTrackWork) {
+  const ModContext ctx(BigInt{101});
+  const OpCounts before = op_counts();
+  for (int i = 0; i < 7; ++i) (void)ctx.exp(BigInt{5}, BigInt{1 + i});
+  (void)ctx.mul(BigInt{5}, BigInt{6});
+  const OpCounts after = op_counts();
+  EXPECT_EQ(after.exps - before.exps, 7U);
+  EXPECT_GT(after.mod_muls, before.mod_muls);
+}
+
+TEST(ModContext, ShimMatchesContext) {
+  XoshiroRng rng(59);
+  BigInt m = random_bits(rng, 192);
+  if (m.is_even()) m += BigInt{1};
+  const ModContext ctx(m);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt base = random_below(rng, m);
+    const BigInt e = random_bits(rng, 96);
+    EXPECT_EQ(mod_exp(base, e, m), ctx.exp(base, e));
+  }
+}
+
+}  // namespace
+}  // namespace idgka::mpint

@@ -36,6 +36,19 @@ TEST_F(GqFixture, HashIdIsUnitAndDeterministic) {
   EXPECT_LT(h1, pkg_->params().n);
 }
 
+TEST_F(GqFixture, SharedContextMustMatchModulus) {
+  const auto wrong = std::make_shared<const mpint::ModContext>(pkg_->params().n + BigInt{2});
+  EXPECT_THROW(GqSigner(pkg_->params(), 1, pkg_->extract(1), wrong), std::invalid_argument);
+  const GqSignature sig{BigInt{1}, BigInt{1}};
+  EXPECT_THROW((void)gq_verify(pkg_->params(), *wrong, 1, bytes("m"), sig),
+               std::invalid_argument);
+  const std::uint32_t id = 1;
+  const BigInt s{1};
+  EXPECT_THROW((void)gq_batch_verify(pkg_->params(), *wrong, {&id, 1}, {&s, 1}, BigInt{1},
+                                     bytes("z")),
+               std::invalid_argument);
+}
+
 TEST_F(GqFixture, ExtractSatisfiesKeyEquation) {
   // S_ID^e == H(ID) mod n.
   const BigInt s_id = pkg_->extract(7);
