@@ -1,12 +1,31 @@
 #include "gka/exchange.h"
 
 #include <algorithm>
+#include <map>
 
 namespace idgka::gka {
 
 RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& sends,
                            const std::vector<std::uint32_t>& receivers, int max_retries) {
   RoundResult result;
+
+  // Round label each sender transmits under. A timed medium can deliver a
+  // straggler duplicate from an earlier round during this round's drain
+  // window; collecting an off-label message would feed the wrong payload
+  // schema into the protocol, so those are ignored and retransmission
+  // covers the gap. A straggler carrying the *same* label (a previous
+  // operation's run of this round) is indistinguishable to a real receiver
+  // and is deliberately collected — the paper's protocols bind freshness
+  // into the challenge verification, which rejects the stale data and
+  // fails the run rather than agreeing on a mixed-epoch key.
+  std::map<std::uint32_t, const std::string*> round_label;
+  for (const RoundSend& send : sends) {
+    round_label.emplace(send.message.sender, &send.message.type);
+  }
+  const auto on_label = [&](const net::Message& msg) {
+    const auto it = round_label.find(msg.sender);
+    return it != round_label.end() && *it->second == msg.type;
+  };
 
   // Which receivers still miss which sender's message?
   auto expects = [&](std::uint32_t receiver, const RoundSend& send) {
@@ -45,9 +64,11 @@ RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& 
     // Under a timed driver this advances the virtual clock by one round
     // timeout so scheduled deposits land; lockstep networks no-op.
     network.await_delivery();
-    // Drain inboxes: keep the first copy of each (sender, receiver) pair.
+    // Drain inboxes: keep the first on-label copy of each (sender,
+    // receiver) pair.
     for (const std::uint32_t rx : receivers) {
       for (net::Message& msg : network.drain(rx)) {
+        if (!on_label(msg)) continue;  // straggler from an earlier round
         result.collected[rx].try_emplace(msg.sender, std::move(msg));
       }
     }

@@ -52,10 +52,18 @@ bool Payload::has_blob(const std::string& name) const {
                      [&](const auto& kv) { return kv.first == name; });
 }
 
+bool Payload::has_u32(const std::string& name) const {
+  return std::any_of(u32s_.begin(), u32s_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
 std::size_t Payload::wire_bytes() const {
   // Per field: 1 tag byte + 2 length bytes + content. u32 fields: 1 + 4.
+  // Minimal big-endian content is ceil(bit_length / 8) bytes (0 for zero),
+  // computed without materializing the magnitude — this runs per
+  // transmission.
   std::size_t total = 0;
-  for (const auto& [name, value] : ints_) total += 3 + value.to_bytes_be().size();
+  for (const auto& [name, value] : ints_) total += 3 + (value.bit_length() + 7) / 8;
   for (const auto& [name, value] : blobs_) total += 3 + value.size();
   total += u32s_.size() * 5;
   return total;

@@ -24,15 +24,34 @@ class Payload {
   void put_blob(std::string name, std::vector<std::uint8_t> value);
   void put_u32(std::string name, std::uint32_t value);
 
-  /// Throws std::out_of_range when the field is missing.
+  /// Throws std::out_of_range naming the missing field.
   [[nodiscard]] const mpint::BigInt& get_int(const std::string& name) const;
   [[nodiscard]] const std::vector<std::uint8_t>& get_blob(const std::string& name) const;
   [[nodiscard]] std::uint32_t get_u32(const std::string& name) const;
   [[nodiscard]] bool has_int(const std::string& name) const;
   [[nodiscard]] bool has_blob(const std::string& name) const;
+  [[nodiscard]] bool has_u32(const std::string& name) const;
 
-  /// Serialized size in bytes (tag + length + content per field).
+  /// Size *model* in bytes (tag + length + content per field). This is the
+  /// paper-accounting estimate, not the frame size — the canonical encoding
+  /// (src/wire) adds header, field names and varints on top. The model is a
+  /// lower bound of the true frame size (asserted on every transmission in
+  /// debug builds).
   [[nodiscard]] std::size_t wire_bytes() const;
+
+  // Insertion-ordered field access (the codec's canonical order).
+  [[nodiscard]] const std::vector<std::pair<std::string, mpint::BigInt>>& ints() const {
+    return ints_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::vector<std::uint8_t>>>& blobs()
+      const {
+    return blobs_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint32_t>>& u32s() const {
+    return u32s_;
+  }
+
+  bool operator==(const Payload&) const = default;
 
  private:
   std::vector<std::pair<std::string, mpint::BigInt>> ints_;
@@ -54,6 +73,8 @@ struct Message {
   [[nodiscard]] std::size_t accounted_bits() const {
     return declared_bits != 0 ? declared_bits : payload.wire_bytes() * 8;
   }
+
+  bool operator==(const Message&) const = default;
 };
 
 }  // namespace idgka::net

@@ -23,61 +23,97 @@ void Network::remove_node(std::uint32_t id) {
 
 bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
 
-void Network::record_drop(const Message& msg, std::uint32_t to) {
+void Network::record_drop(const wire::Frame& frame, std::uint32_t to) {
   ++dropped_;
   const auto it = stats_.find(to);
   if (it != stats_.end()) ++it->second.dropped_messages;
-  if (drop_observer_) drop_observer_(msg, to);
+  if (drop_observer_) drop_observer_(frame, to);
 }
 
-void Network::enqueue(std::vector<Message>& inbox, const Message& msg, std::uint32_t to) {
+void Network::enqueue(std::vector<wire::Frame>& inbox, const wire::Frame& frame,
+                      std::uint32_t to) {
+  // rx is charged from the frame as transmitted — an adversary mutating the
+  // copy below does not change what the radio already received.
   auto& st = stats_[to];
   ++st.rx_messages;
-  st.rx_bits += msg.accounted_bits();
-  if (tamper_) {
-    Message copy = msg;
-    if (!tamper_(copy, to)) return;  // suppressed by the adversary
-    inbox.push_back(std::move(copy));
-    return;
+  st.rx_bits += frame.accounted_bits();
+  st.rx_encoded_bits += frame.size_bits();
+
+  wire::Frame out = frame;  // shared buffer; O(1)
+  if (frame_tamper_) {
+    std::vector<std::uint8_t> bytes(frame.bytes().begin(), frame.bytes().end());
+    if (!frame_tamper_(bytes, to)) return;  // jammed
+    out = wire::Frame(std::move(bytes), frame.accounted_bits(), frame.sender());
   }
-  inbox.push_back(msg);
+  if (tamper_) {
+    Message msg;
+    try {
+      msg = wire::decode(out);
+    } catch (const wire::DecodeError&) {
+      // A byte-level adversary corrupted the copy before the typed hook
+      // could see it; the receiver will discard it either way.
+      ++corrupted_;
+      ++st.corrupted_frames;
+      return;
+    }
+    const Message original = msg;
+    if (!tamper_(msg, to)) return;  // suppressed by the adversary
+    if (!(msg == original)) {
+      out = wire::encode(msg).with_metadata(frame.accounted_bits(), frame.sender());
+    }
+  }
+  inbox.push_back(std::move(out));
 }
 
-void Network::deliver(const Message& msg, std::uint32_t to) {
+void Network::deliver(const wire::Frame& frame, std::uint32_t to) {
   // Unknown recipients are rejected before the loss draw so the error is
   // raised consistently, not only on the (1 - loss_rate) paths.
   auto it = inboxes_.find(to);
   if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown recipient");
   if (loss_rate_ > 0.0 && rng_.next_double() < loss_rate_) {
-    record_drop(msg, to);
+    record_drop(frame, to);
     return;
   }
-  enqueue(it->second, msg, to);
+  enqueue(it->second, frame, to);
 }
 
-void Network::deposit(const Message& msg, std::uint32_t to) {
+void Network::deposit(const wire::Frame& frame, std::uint32_t to) {
   auto it = inboxes_.find(to);
   if (it == inboxes_.end()) {
     // Receiver departed while the copy was in flight: a timed medium cannot
     // un-send, so the copy is accounted as lost rather than an error.
-    record_drop(msg, to);
+    record_drop(frame, to);
     return;
   }
-  enqueue(it->second, msg, to);
+  enqueue(it->second, frame, to);
+}
+
+wire::Frame Network::encode_and_charge(const Message& msg) {
+  wire::Frame frame = wire::encode(msg);
+#ifndef NDEBUG
+  // Every protocol message must round-trip bit-exact through the codec,
+  // and its paper accounting must be a declared override or the size
+  // model — never a silent third value.
+  wire::assert_roundtrip(msg, frame);
+#endif
+  if (frame_sniffer_) frame_sniffer_(frame);
+  if (sniffer_) sniffer_(msg);
+  auto& st = stats_[msg.sender];
+  ++st.tx_messages;
+  st.tx_bits += frame.accounted_bits();
+  st.tx_encoded_bits += frame.size_bits();
+  return frame;
 }
 
 void Network::broadcast(const Message& msg, const std::vector<std::uint32_t>& group) {
   if (!has_node(msg.sender)) throw std::invalid_argument("Network: unknown sender");
-  if (sniffer_) sniffer_(msg);
-  auto& st = stats_[msg.sender];
-  ++st.tx_messages;
-  st.tx_bits += msg.accounted_bits();
+  const wire::Frame frame = encode_and_charge(msg);  // encoded exactly once
   for (const std::uint32_t to : group) {
     if (to == msg.sender) continue;  // self-delivery never happens
     if (transport_) {
-      transport_(msg, to);
+      transport_(frame, to);
     } else {
-      deliver(msg, to);
+      deliver(frame, to);
     }
   }
 }
@@ -87,21 +123,35 @@ void Network::unicast(Message msg) {
   if (!msg.recipient.has_value()) {
     throw std::invalid_argument("Network: unicast requires a recipient");
   }
-  if (sniffer_) sniffer_(msg);
-  auto& st = stats_[msg.sender];
-  ++st.tx_messages;
-  st.tx_bits += msg.accounted_bits();
+  const wire::Frame frame = encode_and_charge(msg);
   if (transport_) {
-    transport_(msg, *msg.recipient);
+    transport_(frame, *msg.recipient);
   } else {
-    deliver(msg, *msg.recipient);
+    deliver(frame, *msg.recipient);
   }
 }
 
 std::vector<Message> Network::drain(std::uint32_t node) {
+  std::vector<wire::Frame> frames = drain_frames(node);
+  std::vector<Message> out;
+  out.reserve(frames.size());
+  for (const wire::Frame& frame : frames) {
+    try {
+      out.push_back(wire::decode(frame));
+    } catch (const wire::DecodeError&) {
+      // Bad checksum in a real radio: the frame was received (rx charged at
+      // enqueue) but is discarded here, and retransmission covers the gap.
+      ++corrupted_;
+      ++stats_[node].corrupted_frames;
+    }
+  }
+  return out;
+}
+
+std::vector<wire::Frame> Network::drain_frames(std::uint32_t node) {
   auto it = inboxes_.find(node);
   if (it == inboxes_.end()) throw std::invalid_argument("Network: unknown node");
-  std::vector<Message> out;
+  std::vector<wire::Frame> out;
   out.swap(it->second);
   return out;
 }
@@ -124,7 +174,10 @@ TrafficStats Network::total_stats() const {
     total.rx_messages += st.rx_messages;
     total.tx_bits += st.tx_bits;
     total.rx_bits += st.rx_bits;
+    total.tx_encoded_bits += st.tx_encoded_bits;
+    total.rx_encoded_bits += st.rx_encoded_bits;
     total.dropped_messages += st.dropped_messages;
+    total.corrupted_frames += st.corrupted_frames;
   }
   return total;
 }
@@ -132,6 +185,7 @@ TrafficStats Network::total_stats() const {
 void Network::reset_stats() {
   for (auto& [id, st] : stats_) st = TrafficStats{};
   dropped_ = 0;
+  corrupted_ = 0;
 }
 
 }  // namespace idgka::net

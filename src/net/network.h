@@ -7,9 +7,18 @@
 // between rounds), counts bits per node for the energy model, and can
 // inject message loss to exercise the protocols' retransmission paths.
 //
+// What moves through the medium is *bytes*, not typed objects: broadcast()
+// serializes the message exactly once through the canonical codec
+// (src/wire) and fans the same immutable ref-counted Frame out to every
+// receiver — an O(1) buffer reference per receiver, not a payload copy.
+// Inboxes hold frames; drain() decodes lazily at the receiver, and a frame
+// that fails the strict decode (corrupted on air) is discarded and counted
+// like a real radio discards a frame with a bad checksum — after the rx
+// energy was already spent.
+//
 // The discrete-event layer (src/sim) turns the same network into a timed
 // medium without touching protocol code: a Transport hook intercepts every
-// (message, receiver) copy and later re-injects it via deposit(), a
+// (frame, receiver) copy and later re-injects it via deposit(), a
 // RoundBarrier hook advances the virtual clock between a round's transmit
 // and drain phases, and a DropObserver accounts every lost copy.
 #pragma once
@@ -22,24 +31,33 @@
 
 #include "mpint/random.h"
 #include "net/message.h"
+#include "wire/codec.h"
 
 namespace idgka::net {
 
-/// Per-node traffic counters (bits are paper-accounted sizes).
+/// Per-node traffic counters. tx/rx_bits are paper-accounted sizes
+/// (declared_bits override or the Payload size model); the _encoded_
+/// variants are the codec-true frame sizes actually on air.
 struct TrafficStats {
   std::uint64_t tx_messages = 0;
   std::uint64_t rx_messages = 0;
   std::uint64_t tx_bits = 0;
   std::uint64_t rx_bits = 0;
+  std::uint64_t tx_encoded_bits = 0;
+  std::uint64_t rx_encoded_bits = 0;
   /// Copies addressed to this node that were lost (loss injection, a link
   /// model's record_drop, or arrival after the node departed).
   std::uint64_t dropped_messages = 0;
+  /// Received frames (rx charged) that failed the strict decode — bit
+  /// flips or truncation by a byte-level adversary.
+  std::uint64_t corrupted_frames = 0;
 };
 
-/// Broadcast network with per-node inboxes and optional loss injection.
+/// Broadcast network with per-node frame inboxes and optional loss
+/// injection.
 class Network {
  public:
-  /// `loss_rate` in [0, 1): probability that any (message, receiver) pair is
+  /// `loss_rate` in [0, 1): probability that any (frame, receiver) copy is
   /// dropped. Loss is deterministic under `seed`. When a Transport is
   /// installed it supersedes the uniform loss model (deposit() never draws).
   explicit Network(double loss_rate = 0.0, std::uint64_t seed = 0);
@@ -55,9 +73,10 @@ class Network {
   [[nodiscard]] std::size_t node_count() const { return inboxes_.size(); }
 
   /// Broadcast to an explicit receiver group (paper protocols broadcast to
-  /// the current group or subgroup). Self-delivery never happens: a sender
-  /// that appears in `group` is skipped and is charged tx exactly once, rx
-  /// never. An unknown receiver in `group` always throws
+  /// the current group or subgroup). The message is encoded once; every
+  /// receiver shares the same frame buffer. Self-delivery never happens: a
+  /// sender that appears in `group` is skipped and is charged tx exactly
+  /// once, rx never. An unknown receiver in `group` always throws
   /// std::invalid_argument, independent of loss injection; with a Transport
   /// installed the copy is handed off instead and a receiver that departs
   /// while it is in flight is recorded as a drop at arrival time.
@@ -66,9 +85,13 @@ class Network {
   /// Point-to-point transmission (e.g. Join Round 3 Un -> Un+1).
   void unicast(Message msg);
 
-  /// Removes and returns all pending messages for `node`, in arrival order.
+  /// Removes and decodes all pending frames for `node`, in arrival order.
+  /// Frames that fail the strict decode are dropped from the result and
+  /// counted in `corrupted_frames` / corrupted().
   [[nodiscard]] std::vector<Message> drain(std::uint32_t node);
-  /// Number of pending messages for `node`.
+  /// Byte-level variant: removes and returns the raw frames undecoded.
+  [[nodiscard]] std::vector<wire::Frame> drain_frames(std::uint32_t node);
+  /// Number of pending frames for `node`.
   [[nodiscard]] std::size_t pending(std::uint32_t node) const;
 
   [[nodiscard]] const TrafficStats& stats(std::uint32_t node) const;
@@ -76,44 +99,62 @@ class Network {
   /// Total lost copies so far (loss injection + record_drop + arrivals at
   /// departed nodes).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Total received frames discarded by the strict decoder.
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
 
   void reset_stats();
 
-  /// Adversarial/debug hook applied to every delivered copy: may modify the
-  /// message in place or return false to suppress delivery (man-in-the-
-  /// middle / jamming experiments). Charged rx is based on the original
-  /// declared size.
+  // --- Adversarial/debug hooks (byte level; typed adapters on top) ---
+
+  /// Byte-level adversary applied to every delivered copy: may rewrite the
+  /// frame bytes in place (bit flips, truncation, extension) or return
+  /// false to suppress delivery (jamming). Charged rx is always based on
+  /// the original frame as transmitted, never the mutated bytes.
+  using FrameTamperHook =
+      std::function<bool(std::vector<std::uint8_t>& bytes, std::uint32_t receiver)>;
+  void set_frame_tamper_hook(FrameTamperHook hook) { frame_tamper_ = std::move(hook); }
+
+  /// Typed adapter over the byte path: the delivered frame is decoded, the
+  /// hook may modify the message or return false to suppress, and a
+  /// modified message is re-encoded into a fresh frame. Charged rx is based
+  /// on the original frame.
   using TamperHook = std::function<bool(Message&, std::uint32_t receiver)>;
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
 
-  /// Passive observer of every transmitted message (eavesdropper).
+  /// Passive byte-level observer of every transmitted frame (eavesdropper
+  /// on the air interface).
+  using FrameSniffer = std::function<void(const wire::Frame&)>;
+  void set_frame_sniffer(FrameSniffer sniffer) { frame_sniffer_ = std::move(sniffer); }
+
+  /// Typed adapter: observes the decoded view of every transmitted frame
+  /// (debug builds assert the frame decodes back to exactly this message).
   using Sniffer = std::function<void(const Message&)>;
   void set_sniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
 
   // --- Timed-delivery hooks (src/sim) ---
 
-  /// Intercepts every (message, receiver) copy instead of immediate
-  /// delivery. The transport owns the copy's fate: it must eventually call
-  /// deposit() (arrival) or record_drop() (loss). Senders are charged tx at
-  /// hand-off time as usual.
-  using Transport = std::function<void(const Message&, std::uint32_t receiver)>;
+  /// Intercepts every (frame, receiver) copy instead of immediate delivery.
+  /// The transport owns the copy's fate: it must eventually call deposit()
+  /// (arrival) or record_drop() (loss). Senders are charged tx at hand-off
+  /// time as usual. Holding the frame is an O(1) buffer reference.
+  using Transport = std::function<void(const wire::Frame&, std::uint32_t receiver)>;
   void set_transport(Transport transport) { transport_ = std::move(transport); }
   [[nodiscard]] bool has_transport() const { return static_cast<bool>(transport_); }
 
   /// Injects a copy that arrives "now" on the timed path: charges rx, runs
-  /// the tamper hook and enqueues. No loss draw (the transport already
+  /// the tamper hooks and enqueues. No loss draw (the transport already
   /// decided). A receiver that departed while the copy was in flight is
   /// recorded as a drop instead of throwing.
-  void deposit(const Message& msg, std::uint32_t to);
+  void deposit(const wire::Frame& frame, std::uint32_t to);
 
-  /// Accounts one lost (message, receiver) copy: bumps the global counter,
+  /// Accounts one lost (frame, receiver) copy: bumps the global counter,
   /// the receiver's `dropped_messages` (when still registered) and notifies
   /// the drop observer. The sim layer calls this for link-model losses so
   /// drop accounting lives in one place.
-  void record_drop(const Message& msg, std::uint32_t to);
+  void record_drop(const wire::Frame& frame, std::uint32_t to);
 
-  /// Observer of every lost copy (message, intended receiver).
-  using DropObserver = std::function<void(const Message&, std::uint32_t receiver)>;
+  /// Observer of every lost copy (frame, intended receiver).
+  using DropObserver = std::function<void(const wire::Frame&, std::uint32_t receiver)>;
   void set_drop_observer(DropObserver observer) { drop_observer_ = std::move(observer); }
 
   /// Invoked by reliable-round loops (gka::exchange_round, the cluster
@@ -132,15 +173,19 @@ class Network {
   [[nodiscard]] std::optional<int> retry_cap() const { return retry_cap_; }
 
  private:
-  void deliver(const Message& msg, std::uint32_t to);
-  void enqueue(std::vector<Message>& inbox, const Message& msg, std::uint32_t to);
+  wire::Frame encode_and_charge(const Message& msg);
+  void deliver(const wire::Frame& frame, std::uint32_t to);
+  void enqueue(std::vector<wire::Frame>& inbox, const wire::Frame& frame, std::uint32_t to);
 
   double loss_rate_;
   mpint::XoshiroRng rng_;
-  std::map<std::uint32_t, std::vector<Message>> inboxes_;
+  std::map<std::uint32_t, std::vector<wire::Frame>> inboxes_;
   std::map<std::uint32_t, TrafficStats> stats_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+  FrameTamperHook frame_tamper_;
   TamperHook tamper_;
+  FrameSniffer frame_sniffer_;
   Sniffer sniffer_;
   Transport transport_;
   DropObserver drop_observer_;

@@ -22,28 +22,33 @@ void ProtocolDriver::install(net::Network& network) {
   // touching a dead network.
   auto token = std::make_shared<int>(0);
   net::Network* net = &network;
-  network.set_transport([this, net, token](const net::Message& msg, std::uint32_t to) {
-    const LinkModel::Verdict verdict = link_.transmit(msg.accounted_bits(), msg.sender, to);
+  network.set_transport([this, net, token](const wire::Frame& frame, std::uint32_t to) {
+    // The link serializes the actual frame bytes; paper-accounted bits are
+    // for the energy model only. Capturing the frame in the deposit event
+    // is an O(1) buffer reference — every in-flight copy of a broadcast
+    // shares one encoding.
+    const LinkModel::Verdict verdict = link_.transmit(frame.size_bits(), frame.sender(), to);
     if (verdict.dropped) {
-      net->record_drop(msg, to);
+      net->record_drop(frame, to);
       return;
     }
     scheduler_.after(verdict.delay_us,
-                     [net, msg, to, weak = std::weak_ptr<int>(token)] {
+                     [net, frame, to, weak = std::weak_ptr<int>(token)] {
                        if (weak.expired()) return;
-                       net->deposit(msg, to);
+                       net->deposit(frame, to);
                      });
   });
   network.set_round_barrier(
       [this] { scheduler_.run_until(scheduler_.now() + cfg_.round_timeout_us); });
   network.set_retry_cap(cfg_.retry_cap);
-  network.set_sniffer([this](const net::Message& msg) {
+  network.set_frame_sniffer([this](const wire::Frame& frame) {
     ++frames_;
-    bits_ += msg.accounted_bits();
+    bits_ += frame.accounted_bits();
+    encoded_bits_ += frame.size_bits();
   });
-  network.set_drop_observer([this](const net::Message& msg, std::uint32_t) {
+  network.set_drop_observer([this](const wire::Frame& frame, std::uint32_t) {
     ++drop_copies_;
-    drop_bits_ += msg.accounted_bits();
+    drop_bits_ += frame.accounted_bits();
   });
 }
 

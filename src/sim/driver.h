@@ -90,7 +90,10 @@ class ProtocolDriver {
 
   // --- Cumulative on-air accounting ---
   [[nodiscard]] std::uint64_t frames_on_air() const { return frames_; }
+  /// Paper-accounted bits (declared override or size model).
   [[nodiscard]] std::uint64_t bits_on_air() const { return bits_; }
+  /// Codec-true encoded frame bits actually serialized on air.
+  [[nodiscard]] std::uint64_t encoded_bits_on_air() const { return encoded_bits_; }
   [[nodiscard]] std::uint64_t copies_dropped() const { return drop_copies_; }
   [[nodiscard]] std::uint64_t bits_dropped() const { return drop_bits_; }
   [[nodiscard]] const LinkModel& link() const { return link_; }
@@ -108,6 +111,7 @@ class ProtocolDriver {
 
   std::uint64_t frames_ = 0;
   std::uint64_t bits_ = 0;
+  std::uint64_t encoded_bits_ = 0;
   std::uint64_t drop_copies_ = 0;
   std::uint64_t drop_bits_ = 0;
 };

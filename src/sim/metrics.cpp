@@ -81,6 +81,8 @@ std::string Metrics::to_json() const {
   out += ',';
   append_kv(out, "bits", std::to_string(bits_on_air), false);
   out += ',';
+  append_kv(out, "encoded_bits", std::to_string(encoded_bits_on_air), false);
+  out += ',';
   append_kv(out, "copies_dropped", std::to_string(copies_dropped), false);
   out += ',';
   append_kv(out, "bits_dropped", std::to_string(bits_dropped), false);

@@ -43,8 +43,11 @@ struct Metrics {
   std::vector<SimTime> rekey_latencies_us;
 
   /// On-air accounting (per transmission, not per copy) and per-copy drops.
+  /// bits_on_air is paper-accounted; encoded_bits_on_air is the codec-true
+  /// total of the canonical frames actually serialized.
   std::uint64_t frames_on_air = 0;
   std::uint64_t bits_on_air = 0;
+  std::uint64_t encoded_bits_on_air = 0;
   std::uint64_t copies_dropped = 0;
   std::uint64_t bits_dropped = 0;
 

@@ -189,6 +189,7 @@ struct Run {
     metrics.all_members_agree = driver.agreed();
     metrics.frames_on_air = driver.frames_on_air();
     metrics.bits_on_air = driver.bits_on_air();
+    metrics.encoded_bits_on_air = driver.encoded_bits_on_air();
     metrics.copies_dropped = driver.copies_dropped();
     metrics.bits_dropped = driver.bits_dropped();
     metrics.deaths = bank.deaths();

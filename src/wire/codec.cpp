@@ -1,0 +1,280 @@
+#include "wire/codec.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace idgka::wire {
+
+namespace {
+
+constexpr std::size_t kMaxNameLen = 255;
+constexpr std::size_t kMaxTypeLen = 255;
+// Accounting values above this would overflow downstream energy sums long
+// before any real radio could transmit them.
+constexpr std::uint64_t kMaxDeclaredBits = 1ULL << 48;
+
+// ----------------------------------------------------------- encode side ---
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_name(std::vector<std::uint8_t>& out, const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    throw std::invalid_argument("wire::encode: field name must be 1..255 bytes: '" + name +
+                                "'");
+  }
+  put_varint(out, name.size());
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+// Payload::put_* appends unconditionally; a duplicate name within a kind
+// would encode into a frame the strict decoder rejects at every receiver,
+// so it must fail loudly at the sender instead.
+template <typename Vec>
+void reject_duplicates(const Vec& fields, const char* kind) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    for (std::size_t j = i + 1; j < fields.size(); ++j) {
+      if (fields[i].first == fields[j].first) {
+        throw std::invalid_argument(std::string("wire::encode: duplicate ") + kind +
+                                    " field '" + fields[i].first + "'");
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- decode side ---
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8(const char* what) {
+    if (remaining() < 1) throw DecodeError(std::string("wire: truncated ") + what);
+    return bytes_[pos_++];
+  }
+
+  std::span<const std::uint8_t> take(std::size_t n, const char* what) {
+    if (remaining() < n) throw DecodeError(std::string("wire: truncated ") + what);
+    const auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Minimal unsigned LEB128; rejects >64-bit values and padded encodings.
+  std::uint64_t varint(const char* what) {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8(what);
+      const std::uint64_t group = byte & 0x7F;
+      if (shift == 63 && group > 1) {
+        throw DecodeError(std::string("wire: varint overflow in ") + what);
+      }
+      value |= group << shift;
+      if ((byte & 0x80) == 0) {
+        if (byte == 0 && shift != 0) {
+          throw DecodeError(std::string("wire: non-minimal varint in ") + what);
+        }
+        return value;
+      }
+    }
+    throw DecodeError(std::string("wire: varint overflow in ") + what);
+  }
+
+  std::uint32_t varint_u32(const char* what) {
+    const std::uint64_t v = varint(what);
+    if (v > std::numeric_limits<std::uint32_t>::max()) {
+      throw DecodeError(std::string("wire: value exceeds 32 bits in ") + what);
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  /// A length that must fit in the remaining buffer.
+  std::size_t length(const char* what) {
+    const std::uint64_t v = varint(what);
+    if (v > remaining()) {
+      throw DecodeError(std::string("wire: declared length exceeds frame in ") + what);
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+Header read_header(Reader& r) {
+  if (r.u8("magic") != kMagic) throw DecodeError("wire: bad magic");
+  if (r.u8("version") != kVersion) throw DecodeError("wire: unsupported version");
+  const std::uint8_t flags = r.u8("flags");
+  if ((flags & ~kFlagRecipient) != 0) throw DecodeError("wire: unknown flags");
+
+  Header h;
+  h.sender = r.varint_u32("sender");
+  if ((flags & kFlagRecipient) != 0) h.recipient = r.varint_u32("recipient");
+  h.declared_bits = r.varint("declared_bits");
+  if (h.declared_bits > kMaxDeclaredBits) throw DecodeError("wire: declared_bits too large");
+  const std::size_t type_len = r.length("type");
+  if (type_len > kMaxTypeLen) throw DecodeError("wire: type label too long");
+  const auto type = r.take(type_len, "type");
+  h.type.assign(type.begin(), type.end());
+  h.field_count = r.varint("field_count");
+  return h;
+}
+
+std::string read_name(Reader& r) {
+  const std::size_t len = r.length("field name");
+  if (len == 0 || len > kMaxNameLen) throw DecodeError("wire: field name must be 1..255 bytes");
+  const auto bytes = r.take(len, "field name");
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+Frame encode(const net::Message& msg) {
+  if (msg.type.size() > kMaxTypeLen) {
+    throw std::invalid_argument("wire::encode: type label exceeds 255 bytes");
+  }
+  if (msg.declared_bits > kMaxDeclaredBits) {
+    throw std::invalid_argument("wire::encode: declared_bits too large");
+  }
+  reject_duplicates(msg.payload.ints(), "int");
+  reject_duplicates(msg.payload.blobs(), "blob");
+  reject_duplicates(msg.payload.u32s(), "u32");
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + msg.type.size() + msg.payload.wire_bytes() +
+              12 * (msg.payload.ints().size() + msg.payload.blobs().size() +
+                    msg.payload.u32s().size()));
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  out.push_back(msg.recipient.has_value() ? kFlagRecipient : 0);
+  put_varint(out, msg.sender);
+  if (msg.recipient.has_value()) put_varint(out, *msg.recipient);
+  put_varint(out, msg.declared_bits);
+  put_varint(out, msg.type.size());
+  out.insert(out.end(), msg.type.begin(), msg.type.end());
+  put_varint(out, msg.payload.ints().size() + msg.payload.blobs().size() +
+                      msg.payload.u32s().size());
+
+  for (const auto& [name, value] : msg.payload.ints()) {
+    if (value.negative()) {
+      throw std::invalid_argument("wire::encode: negative integer field '" + name + "'");
+    }
+    out.push_back(kKindInt);
+    put_name(out, name);
+    const std::vector<std::uint8_t> mag = value.to_bytes_be();  // minimal; zero => empty
+    put_varint(out, mag.size());
+    out.insert(out.end(), mag.begin(), mag.end());
+  }
+  for (const auto& [name, value] : msg.payload.blobs()) {
+    out.push_back(kKindBlob);
+    put_name(out, name);
+    put_varint(out, value.size());
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  for (const auto& [name, value] : msg.payload.u32s()) {
+    out.push_back(kKindU32);
+    put_name(out, name);
+    out.push_back(static_cast<std::uint8_t>(value >> 24));
+    out.push_back(static_cast<std::uint8_t>(value >> 16));
+    out.push_back(static_cast<std::uint8_t>(value >> 8));
+    out.push_back(static_cast<std::uint8_t>(value));
+  }
+  return Frame(std::move(out), msg.accounted_bits(), msg.sender);
+}
+
+net::Message decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const Header h = read_header(r);
+
+  net::Message msg;
+  msg.sender = h.sender;
+  msg.recipient = h.recipient;
+  msg.type = h.type;
+  msg.declared_bits = static_cast<std::size_t>(h.declared_bits);
+
+  std::uint8_t last_kind = 0;
+  for (std::uint64_t i = 0; i < h.field_count; ++i) {
+    const std::uint8_t kind = r.u8("field kind");
+    if (kind != kKindInt && kind != kKindBlob && kind != kKindU32) {
+      throw DecodeError("wire: unknown field kind");
+    }
+    if (kind < last_kind) throw DecodeError("wire: field kinds out of canonical order");
+    last_kind = kind;
+    std::string name = read_name(r);
+    switch (kind) {
+      case kKindInt: {
+        if (msg.payload.has_int(name)) throw DecodeError("wire: duplicate int '" + name + "'");
+        const std::size_t len = r.length("int value");
+        const auto mag = r.take(len, "int value");
+        if (!mag.empty() && mag.front() == 0) {
+          throw DecodeError("wire: non-minimal integer '" + name + "'");
+        }
+        msg.payload.put_int(std::move(name), mpint::BigInt::from_bytes_be(mag));
+        break;
+      }
+      case kKindBlob: {
+        if (msg.payload.has_blob(name)) {
+          throw DecodeError("wire: duplicate blob '" + name + "'");
+        }
+        const std::size_t len = r.length("blob value");
+        const auto blob = r.take(len, "blob value");
+        msg.payload.put_blob(std::move(name), std::vector<std::uint8_t>(blob.begin(), blob.end()));
+        break;
+      }
+      default: {  // kKindU32
+        if (msg.payload.has_u32(name)) throw DecodeError("wire: duplicate u32 '" + name + "'");
+        const auto be = r.take(4, "u32 value");
+        const std::uint32_t value = (static_cast<std::uint32_t>(be[0]) << 24) |
+                                    (static_cast<std::uint32_t>(be[1]) << 16) |
+                                    (static_cast<std::uint32_t>(be[2]) << 8) |
+                                    static_cast<std::uint32_t>(be[3]);
+        msg.payload.put_u32(std::move(name), value);
+        break;
+      }
+    }
+  }
+  if (!r.done()) throw DecodeError("wire: trailing garbage after payload");
+  return msg;
+}
+
+net::Message decode(const Frame& frame) { return decode(frame.bytes()); }
+
+Header peek(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  return read_header(r);
+}
+
+void assert_roundtrip(const net::Message& msg, const Frame& frame) {
+  const net::Message back = decode(frame);
+  if (!(back == msg)) {
+    throw std::logic_error("wire: frame does not decode back to the message (type '" +
+                           msg.type + "')");
+  }
+  const Frame again = encode(back);
+  const auto a = frame.bytes();
+  const auto b = again.bytes();
+  if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+    throw std::logic_error("wire: re-encode is not byte-identical (type '" + msg.type + "')");
+  }
+  if (msg.payload.wire_bytes() * 8 > frame.size_bits()) {
+    throw std::logic_error("wire: payload size model exceeds the true frame size (type '" +
+                           msg.type + "')");
+  }
+  // The paper accounting is either the sender's declared override or the
+  // size model — a frame carrying any third value means a layer rewrote
+  // accounting silently.
+  if (frame.accounted_bits() != msg.accounted_bits()) {
+    throw std::logic_error("wire: accounted bits drifted from the message (type '" + msg.type +
+                           "')");
+  }
+}
+
+}  // namespace idgka::wire

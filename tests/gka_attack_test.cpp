@@ -16,6 +16,7 @@
 
 #include "gka/session.h"
 #include "sig/gq.h"
+#include "wire/codec.h"
 
 namespace idgka::gka {
 namespace {
@@ -154,7 +155,11 @@ TEST(TauReuseAttack, RecoversLongTermSecretFromTwoLeaves) {
   std::vector<std::uint32_t> ring = session.member_ids();
   std::map<std::uint32_t, BigInt> round_s;  // r2 responses of the current event
 
-  session.mutable_network().set_sniffer([&](const net::Message& msg) {
+  // The eavesdropper works from the air interface: it receives the raw
+  // frame bytes and parses them itself with the public codec — no typed
+  // object ever reaches it.
+  session.mutable_network().set_frame_sniffer([&](const wire::Frame& frame) {
+    const net::Message msg = wire::decode(frame.bytes());
     if (msg.type == "proposed-r1" || msg.type == "leave-r1") {
       sniffed.t[msg.sender] = msg.payload.get_int("t");
       sniffed.z[msg.sender] = msg.payload.get_int("z");

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "wire/codec.h"
+
 namespace idgka::gka {
 namespace {
 
@@ -65,9 +67,10 @@ TEST(ExchangeRound, LossTriggersRetransmissionUntilComplete) {
 TEST(ExchangeRound, RetryCapGivesIncompleteResult) {
   net::Network net;
   const auto ids = nodes(net, 3);
-  // An adversary suppresses everything from node 2 to node 3.
-  net.set_tamper_hook([](net::Message& m, std::uint32_t rx) {
-    return !(m.sender == 2 && rx == 3);
+  // A byte-level adversary jams every frame from node 2 to node 3,
+  // selecting its target from the frame header alone.
+  net.set_frame_tamper_hook([](std::vector<std::uint8_t>& bytes, std::uint32_t rx) {
+    return !(wire::peek(bytes).sender == 2 && rx == 3);
   });
   std::vector<RoundSend> sends;
   for (const auto id : ids) sends.push_back(RoundSend{msg_from(id), ids});

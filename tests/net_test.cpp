@@ -1,8 +1,11 @@
 // Broadcast-network simulator tests: delivery, byte accounting, loss
-// injection, payload container.
+// injection, payload container, shared-frame fan-out and byte-level
+// adversaries.
 #include "net/network.h"
 
 #include <gtest/gtest.h>
+
+#include "wire/codec.h"
 
 namespace idgka::net {
 namespace {
@@ -26,8 +29,28 @@ TEST(Payload, TypedAccessors) {
   EXPECT_EQ(p.get_u32("id"), 7U);
   EXPECT_TRUE(p.has_int("z"));
   EXPECT_FALSE(p.has_int("nope"));
+  EXPECT_TRUE(p.has_u32("id"));
+  EXPECT_FALSE(p.has_u32("z"));  // per-kind lookup: "z" is an int field
+  EXPECT_FALSE(p.has_blob("id"));
   EXPECT_THROW((void)p.get_int("nope"), std::out_of_range);
   EXPECT_THROW((void)p.get_blob("nope"), std::out_of_range);
+  EXPECT_THROW((void)p.get_u32("nope"), std::out_of_range);
+}
+
+TEST(Payload, MissingFieldErrorsNameTheFieldAndKind) {
+  const Payload p;
+  const auto expect_message = [](auto fn, const std::string& needle) {
+    try {
+      fn();
+      FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("gone"), std::string::npos) << e.what();
+    }
+  };
+  expect_message([&] { (void)p.get_int("gone"); }, "int");
+  expect_message([&] { (void)p.get_blob("gone"); }, "blob");
+  expect_message([&] { (void)p.get_u32("gone"); }, "u32");
 }
 
 TEST(Payload, WireBytesAccountsAllFields) {
@@ -157,9 +180,9 @@ TEST(Network, DropObserverSeesEveryLoss) {
   net.add_node(2);
   std::uint64_t observed = 0;
   std::uint64_t observed_bits = 0;
-  net.set_drop_observer([&](const Message& m, std::uint32_t to) {
+  net.set_drop_observer([&](const wire::Frame& f, std::uint32_t to) {
     ++observed;
-    observed_bits += m.accounted_bits();
+    observed_bits += f.accounted_bits();
     EXPECT_EQ(to, 2U);
   });
   for (int i = 0; i < 100; ++i) net.broadcast(make_msg(1, 8), {2});
@@ -172,17 +195,23 @@ TEST(Network, TransportInterceptsAndDepositDelivers) {
   Network net;
   net.add_node(1);
   net.add_node(2);
-  std::vector<std::pair<Message, std::uint32_t>> in_flight;
-  net.set_transport([&](const Message& m, std::uint32_t to) { in_flight.emplace_back(m, to); });
+  std::vector<std::pair<wire::Frame, std::uint32_t>> in_flight;
+  net.set_transport(
+      [&](const wire::Frame& f, std::uint32_t to) { in_flight.emplace_back(f, to); });
 
   net.broadcast(make_msg(1, 64), {2});
   EXPECT_EQ(net.pending(2), 0U);  // intercepted, not delivered
   EXPECT_EQ(net.stats(1).tx_bits, 64U);  // sender charged at hand-off
   ASSERT_EQ(in_flight.size(), 1U);
+  EXPECT_EQ(in_flight[0].first.sender(), 1U);
 
   net.deposit(in_flight[0].first, in_flight[0].second);
   EXPECT_EQ(net.pending(2), 1U);
   EXPECT_EQ(net.stats(2).rx_bits, 64U);
+  const auto msgs = net.drain(2);
+  ASSERT_EQ(msgs.size(), 1U);  // deposited frame decodes at the receiver
+  EXPECT_EQ(msgs[0].sender, 1U);
+  EXPECT_EQ(msgs[0].payload.get_u32("id"), 1U);
 
   // A receiver that departed while the copy was in flight is a drop, not
   // an error.
@@ -191,6 +220,120 @@ TEST(Network, TransportInterceptsAndDepositDelivers) {
   ASSERT_EQ(in_flight.size(), 2U);
   net.deposit(in_flight[1].first, in_flight[1].second);
   EXPECT_EQ(net.dropped(), 1U);
+}
+
+TEST(Network, BroadcastSharesOneFrameAcrossReceiversAndEncodedBits) {
+  // The tentpole invariant: one encode per broadcast, every in-flight copy
+  // an O(1) reference to the same buffer.
+  Network net;
+  for (std::uint32_t id = 1; id <= 5; ++id) net.add_node(id);
+  std::vector<wire::Frame> copies;
+  net.set_transport([&](const wire::Frame& f, std::uint32_t) { copies.push_back(f); });
+  wire::Frame sniffed;
+  net.set_frame_sniffer([&](const wire::Frame& f) { sniffed = f; });
+
+  Message m = make_msg(1);
+  m.payload.put_int("z", mpint::BigInt::from_hex("deadbeefcafef00d1234"));
+  net.broadcast(m, {1, 2, 3, 4, 5});
+  ASSERT_EQ(copies.size(), 4U);
+  for (const wire::Frame& f : copies) {
+    EXPECT_EQ(f.data(), copies[0].data());  // same buffer, not a copy
+  }
+  EXPECT_EQ(sniffed.data(), copies[0].data());
+  EXPECT_GE(copies[0].use_count(), 5L);
+
+  // Codec-true accounting alongside the paper model.
+  EXPECT_EQ(net.stats(1).tx_encoded_bits, copies[0].size_bits());
+  EXPECT_EQ(net.stats(1).tx_bits, m.accounted_bits());
+  net.deposit(copies[0], 2);
+  EXPECT_EQ(net.stats(2).rx_encoded_bits, copies[0].size_bits());
+}
+
+TEST(Network, FrameTamperRxChargedFromOriginalFrame) {
+  // Regression (and byte-level extension) of the tamper accounting rule: a
+  // hook that rewrites — or truncates — the copy still charges rx from the
+  // frame as transmitted.
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  net.add_node(3);
+  net.set_frame_tamper_hook([](std::vector<std::uint8_t>& bytes, std::uint32_t to) {
+    if (to == 2) bytes.resize(bytes.size() / 2);  // truncation attack on node 2
+    return true;
+  });
+  Message m = make_msg(1, /*bits=*/1000);
+  m.payload.put_int("z", mpint::BigInt::from_hex("112233445566778899aabbccddeeff"));
+  net.broadcast(m, {2, 3});
+
+  // Both receivers paid rx for the full original frame...
+  EXPECT_EQ(net.stats(2).rx_bits, 1000U);
+  EXPECT_EQ(net.stats(3).rx_bits, 1000U);
+  EXPECT_EQ(net.stats(2).rx_encoded_bits, net.stats(3).rx_encoded_bits);
+
+  // ...but the truncated copy fails the strict decode and is discarded.
+  EXPECT_TRUE(net.drain(2).empty());
+  EXPECT_EQ(net.stats(2).corrupted_frames, 1U);
+  EXPECT_EQ(net.corrupted(), 1U);
+  const auto intact = net.drain(3);
+  ASSERT_EQ(intact.size(), 1U);
+  EXPECT_EQ(intact[0].payload.get_int("z"),
+            mpint::BigInt::from_hex("112233445566778899aabbccddeeff"));
+  EXPECT_EQ(net.stats(3).corrupted_frames, 0U);
+}
+
+TEST(Network, TypedTamperRxChargedFromOriginalFrame) {
+  // Regression: the typed (decode -> mutate -> re-encode) adapter also pins
+  // rx accounting to the original frame, even when the mutation changes the
+  // encoded size.
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  net.set_tamper_hook([](Message& msg, std::uint32_t) {
+    net::Payload fat;
+    fat.put_u32("id", msg.payload.get_u32("id"));
+    fat.put_blob("padding", std::vector<std::uint8_t>(512, 0xAB));  // grows the frame
+    msg.payload = fat;
+    return true;
+  });
+  net.broadcast(make_msg(1, /*bits=*/96), {2});
+  EXPECT_EQ(net.stats(2).rx_bits, 96U);
+  const std::uint64_t original_encoded = net.stats(1).tx_encoded_bits;
+  EXPECT_EQ(net.stats(2).rx_encoded_bits, original_encoded);  // not the fat rewrite
+  const auto msgs = net.drain(2);
+  ASSERT_EQ(msgs.size(), 1U);  // mutated copy still decodes
+  EXPECT_EQ(msgs[0].payload.get_blob("padding").size(), 512U);
+}
+
+TEST(Network, FrameTamperBitFlipDetectedAtDrain) {
+  // Flipping one payload byte keeps the frame structurally valid only if
+  // it misses every length field; flipping a length byte must be caught.
+  // Either way the receiver never sees a silently-wrong message when the
+  // flip lands in the frame structure.
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  net.set_frame_tamper_hook([](std::vector<std::uint8_t>& bytes, std::uint32_t) {
+    bytes[0] ^= 0xFF;  // destroy the magic byte
+    return true;
+  });
+  net.broadcast(make_msg(1, 8), {2});
+  EXPECT_EQ(net.pending(2), 1U);  // received...
+  EXPECT_TRUE(net.drain(2).empty());  // ...discarded by the strict decoder
+  EXPECT_EQ(net.stats(2).corrupted_frames, 1U);
+}
+
+TEST(Network, DrainFramesReturnsRawBytes) {
+  Network net;
+  net.add_node(1);
+  net.add_node(2);
+  net.broadcast(make_msg(1, 64), {2});
+  auto frames = net.drain_frames(2);
+  ASSERT_EQ(frames.size(), 1U);
+  EXPECT_EQ(net.pending(2), 0U);
+  const Message m = wire::decode(frames[0]);
+  EXPECT_EQ(m.sender, 1U);
+  EXPECT_EQ(m.declared_bits, 64U);
+  EXPECT_THROW((void)net.drain_frames(9), std::invalid_argument);
 }
 
 TEST(Network, RoundBarrierAndRetryCapHooks) {
