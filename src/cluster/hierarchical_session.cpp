@@ -408,8 +408,8 @@ void HierarchicalSession::rekey_and_distribute() {
     }
     // Lossy leaf networks may drop the broadcast copy; the head unicasts to
     // the stragglers until everyone holds the epoch key. A timed driver's
-    // retry cap (Network::retry_cap) overrides the built-in bound.
-    const int retries = network.retry_cap().value_or(kMaxRekeyRetransmits);
+    // retry cap overrides the built-in bound (see effective_retry_cap).
+    const int retries = network.effective_retry_cap(kMaxRekeyRetransmits);
     for (int attempt = 0; attempt < retries && !missing.empty(); ++attempt) {
       for (const std::uint32_t id : missing) {
         net::Message retry = msg;

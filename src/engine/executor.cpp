@@ -1,0 +1,256 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "net/parallel.h"
+
+namespace idgka::engine {
+
+namespace {
+thread_local ProtocolRun* t_current_run = nullptr;
+}  // namespace
+
+// ------------------------------------------------------------- ProtocolRun
+
+ProtocolRun::ProtocolRun(Executor& exec, std::uint64_t id, std::string name, Body body)
+    : exec_(exec), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+ProtocolRun::~ProtocolRun() {
+  if (thread_.joinable()) thread_.join();
+}
+
+ProtocolRun* ProtocolRun::current() { return t_current_run; }
+
+void ProtocolRun::thread_main() {
+  std::unique_lock<std::mutex> lock(exec_.mutex_);
+  cv_.wait(lock, [this] { return go_ || exec_.shutdown_; });
+  if (exec_.shutdown_) {
+    state_ = State::kFinished;
+    go_ = false;
+    exec_.host_cv_.notify_all();
+    return;
+  }
+  state_ = State::kRunning;
+  lock.unlock();
+
+  t_current_run = this;
+  try {
+    body_(*this);
+  } catch (const RunAborted&) {
+    // Executor teardown unwound the body; nothing to record.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  t_current_run = nullptr;
+  body_ = nullptr;  // release captured state promptly
+
+  lock.lock();
+  state_ = State::kFinished;
+  go_ = false;
+  exec_.host_cv_.notify_all();
+}
+
+void ProtocolRun::park(std::unique_lock<std::mutex>& lock) {
+  state_ = State::kWaiting;
+  go_ = false;
+  exec_.host_cv_.notify_all();
+  cv_.wait(lock, [this] { return go_ || exec_.shutdown_; });
+  if (exec_.shutdown_) throw RunAborted{};
+  state_ = State::kRunning;
+}
+
+sim::SimTime ProtocolRun::now() const { return exec_.now(); }
+
+void ProtocolRun::sleep_until(sim::SimTime when) {
+  std::unique_lock<std::mutex> lock(exec_.mutex_);
+  if (when <= exec_.scheduler_.now()) return;
+  arrival_sensitive_ = false;
+  exec_.schedule_wake(this, when, ++wake_epoch_);
+  park(lock);
+}
+
+void ProtocolRun::await_round(sim::SimTime timeout, bool resume_on_arrival) {
+  std::unique_lock<std::mutex> lock(exec_.mutex_);
+  if (resume_on_arrival && in_flight_ == 0) {
+    // Channel already quiet: nothing this run posted is still in flight,
+    // so nothing more will ever arrive for this await — drain immediately
+    // (an incomplete round then retransmits without burning a timeout).
+    return;
+  }
+  arrival_sensitive_ = resume_on_arrival;
+  exec_.schedule_wake(this, exec_.scheduler_.now() + timeout, ++wake_epoch_);
+  park(lock);
+  arrival_sensitive_ = false;
+}
+
+// ---------------------------------------------------------------- Executor
+
+Executor::Executor(sim::Scheduler& scheduler) : scheduler_(scheduler) {}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (const auto& run : runs_) run->cv_.notify_all();
+  }
+  for (const auto& run : runs_) {
+    if (run->thread_.joinable()) run->thread_.join();
+  }
+}
+
+ProtocolRun& Executor::submit(std::string name, ProtocolRun::Body body) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) throw std::logic_error("engine::Executor: submit after shutdown");
+  runs_.emplace_back(new ProtocolRun(*this, next_id_++, std::move(name), std::move(body)));
+  ++submitted_;
+  ProtocolRun* run = runs_.back().get();
+  make_runnable(run);
+  return *run;
+}
+
+void Executor::make_runnable(ProtocolRun* run) {
+  if (run->queued_ || run->state_ == ProtocolRun::State::kFinished ||
+      run->state_ == ProtocolRun::State::kRunning) {
+    return;
+  }
+  run->queued_ = true;
+  runnable_.push_back(run);
+}
+
+void Executor::schedule_wake(ProtocolRun* run, sim::SimTime when, std::uint64_t epoch) {
+  ++run->pending_wakes_;
+  scheduler_.at(when, [this, run, epoch, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) return;  // straggler outliving the executor
+    --run->pending_wakes_;
+    wake_from_timer(run, epoch);
+  });
+}
+
+void Executor::wake_from_timer(ProtocolRun* run, std::uint64_t epoch) {
+  // Runs inside drain()'s event execution, mutex held. A stale epoch means
+  // the await this timer belonged to was already resumed (frame arrival).
+  if (epoch != run->wake_epoch_ || run->state_ != ProtocolRun::State::kWaiting) return;
+  make_runnable(run);
+}
+
+void Executor::step(ProtocolRun* run) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  run->go_ = true;
+  run->cv_.notify_one();
+  host_cv_.wait(lock, [run] { return !run->go_; });
+}
+
+void Executor::drain() {
+  if (ProtocolRun::current() != nullptr) {
+    throw std::logic_error("engine::Executor: drain() called from a run body");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!runnable_.empty()) {
+      std::vector<ProtocolRun*> batch;
+      batch.swap(runnable_);
+      for (ProtocolRun* run : batch) run->queued_ = false;
+      max_batch_ = std::max(max_batch_, batch.size());
+      resumes_ += batch.size();
+      lock.unlock();
+      // The whole same-instant batch resumes across the worker pool; with
+      // IDGKA_THREADS=1 this degenerates to strictly sequential resumption
+      // in queue order — bit-identical results either way.
+      if (batch.size() == 1) {
+        step(batch.front());
+      } else {
+        net::parallel_for_each(batch.size(),
+                               [this, &batch](std::size_t i) { step(batch[i]); });
+      }
+      lock.lock();
+      continue;
+    }
+    const bool all_finished =
+        std::all_of(runs_.begin(), runs_.end(), [](const auto& run) {
+          return run->state_ == ProtocolRun::State::kFinished;
+        });
+    if (all_finished) break;
+    if (scheduler_.pending() > 0) {
+      // Execute every event at the next timestamp (frame deposits, timer
+      // wakes — including same-timestamp cascades). Wake events mark runs
+      // runnable; the next iteration resumes them as one batch.
+      scheduler_.run_until(*scheduler_.next_event_time());
+      continue;
+    }
+    throw std::logic_error(
+        "engine::Executor: all runs waiting but no pending events (lost wakeup?)");
+  }
+
+  // Keep the first body error for rethrow and clear ALL of them — a stale
+  // error must never be re-attributed to a later, unrelated drain.
+  std::exception_ptr first_error;
+  for (const auto& run : runs_) {
+    if (run->error_) {
+      if (!first_error) first_error = run->error_;
+      run->error_ = nullptr;
+    }
+  }
+  // Reap finished runs no queued event references any more (straggler
+  // deposits and stale timer wakes both hold ProtocolRun pointers); the
+  // rest keep their objects until those events fire or the executor dies.
+  std::vector<std::unique_ptr<ProtocolRun>> reaped;
+  const auto referenced = [](const std::unique_ptr<ProtocolRun>& run) {
+    return run->in_flight_ > 0 || run->pending_wakes_ > 0;
+  };
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    if (!referenced(*it)) {
+      reaped.push_back(std::move(*it));
+      it = runs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  lock.unlock();
+  // Join thread handles outside the mutex (a finishing thread briefly
+  // re-acquires it on its way out).
+  for (const auto& run : runs_) {
+    if (run->thread_.joinable()) run->thread_.join();
+  }
+  for (const auto& run : reaped) {
+    if (run->thread_.joinable()) run->thread_.join();
+  }
+  reaped.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Executor::bump_in_flight(ProtocolRun* owner) { ++owner->in_flight_; }
+
+void Executor::settle_in_flight(ProtocolRun* owner) {
+  --owner->in_flight_;
+  if (owner->in_flight_ == 0 && owner->arrival_sensitive_ &&
+      owner->state_ == ProtocolRun::State::kWaiting) {
+    ++owner->wake_epoch_;  // invalidate the pending timeout wake
+    make_runnable(owner);
+  }
+}
+
+sim::SimTime Executor::now() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_.now();
+}
+
+std::uint64_t Executor::resumes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resumes_;
+}
+
+std::size_t Executor::max_batch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_batch_;
+}
+
+std::size_t Executor::run_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+}  // namespace idgka::engine

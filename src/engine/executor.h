@@ -1,0 +1,133 @@
+// Event-driven protocol engine: many concurrent ProtocolRuns, one clock.
+//
+// The Executor multiplexes any number of resumable protocol executions
+// (ProtocolRun) over a single discrete-event sim::Scheduler. Run wake-ups
+// are ordinary scheduler events, so the engine inherits the scheduler's
+// determinism guarantee — equal-timestamp events fire in insertion (FIFO)
+// order — and a whole multi-group simulation stays a pure function of its
+// seeds. drain() is the engine's main loop:
+//
+//   1. resume every currently-runnable run as one batch — in parallel
+//      across net::parallel_for_each workers (IDGKA_THREADS=1 serializes
+//      the batch without changing any result, which CI exploits to catch
+//      schedule-dependent nondeterminism);
+//   2. when no run is runnable, execute all scheduler events at the next
+//      timestamp (frame deposits, timer wakes) — these mark runs runnable;
+//   3. repeat until every run finished.
+//
+// Parallel batch safety: a run body only touches its own group's
+// state (sessions, networks, link models) plus this executor, whose
+// mutable state — including the shared Scheduler — is guarded by one
+// mutex. Post-order between runs in a batch is not deterministic, but
+// events of different runs touch disjoint networks and one run's posts
+// keep their relative order, so per-group results never depend on the
+// interleaving (the engine test suite and CI assert this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/protocol_run.h"
+#include "sim/scheduler.h"
+
+namespace idgka::engine {
+
+class Executor {
+ public:
+  /// The scheduler must outlive the executor. While any run is live, every
+  /// access to the scheduler must go through this executor (post / now /
+  /// drain); between drains the host thread may use it directly.
+  explicit Executor(sim::Scheduler& scheduler);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Registers a run; its body starts executing at the next drain(). The
+  /// returned reference is valid only until the drain() that finishes the
+  /// run returns (finished runs are reaped once no queued event references
+  /// them) — don't hold it across drains.
+  ProtocolRun& submit(std::string name, ProtocolRun::Body body);
+
+  /// Drives every submitted run to completion, interleaving their awaits
+  /// by virtual-time events. Call from the host thread only (never from a
+  /// run body). Rethrows the first run-body exception after all runs
+  /// settle. Pending scheduler events beyond the last run's completion
+  /// (straggler frames) stay queued, exactly like the blocking layer left
+  /// them.
+  void drain();
+
+  /// Thread-safe event scheduling at now + delay. `owner` (may be null)
+  /// attributes the event to a run for frame-arrival resumption: the
+  /// event counts as one in-flight copy of that run until executed.
+  /// Templated so the deposit closure and the in-flight accounting fold
+  /// into one scheduler event (this sits on the per-copy hot path).
+  ///
+  /// Straggler events may stay queued in the scheduler past the
+  /// executor's death (the scheduler outlives it by contract); the
+  /// liveness token makes the engine-accounting half a no-op then — `fn`
+  /// still runs and must guard its own captures (the sim transport's
+  /// weak network token does).
+  template <typename Fn>
+  void post(sim::SimTime delay, Fn&& fn, ProtocolRun* owner) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (owner != nullptr) bump_in_flight(owner);
+    scheduler_.after(delay, [this, fn = std::forward<Fn>(fn), owner,
+                             alive = std::weak_ptr<const bool>(alive_)] {
+      fn();
+      if (owner != nullptr && !alive.expired()) settle_in_flight(owner);
+    });
+  }
+
+  /// Thread-safe clock read.
+  [[nodiscard]] sim::SimTime now() const;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+
+  // --- Engine bookkeeping (for tests, benches and metrics) ---
+  /// Total run resumptions performed.
+  [[nodiscard]] std::uint64_t resumes() const;
+  /// Widest same-instant batch of runs resumed together — > 1 proves that
+  /// independent protocol runs genuinely interleaved on this clock.
+  [[nodiscard]] std::size_t max_batch() const;
+  /// Total runs ever submitted (finished runs are reaped once no queued
+  /// event references them, so this is a counter, not a live-list size).
+  [[nodiscard]] std::size_t run_count() const;
+
+ private:
+  friend class ProtocolRun;
+
+  /// Marks a run runnable (mutex held). No-op when already queued/done.
+  void make_runnable(ProtocolRun* run);
+  /// Schedules a timer wake for `run` at `when` (mutex held): counted in
+  /// pending_wakes_ and guarded by the liveness token.
+  void schedule_wake(ProtocolRun* run, sim::SimTime when, std::uint64_t epoch);
+  /// Timer-event wake; ignores stale epochs (mutex held via drain).
+  void wake_from_timer(ProtocolRun* run, std::uint64_t epoch);
+  /// In-flight copy accounting (bump under the mutex; settle runs inside
+  /// drain's event execution and may resume an arrival-sensitive await).
+  static void bump_in_flight(ProtocolRun* owner);
+  void settle_in_flight(ProtocolRun* owner);
+  /// Resumes one run and blocks until it parks or finishes.
+  void step(ProtocolRun* run);
+
+  sim::Scheduler& scheduler_;
+  mutable std::mutex mutex_;
+  std::condition_variable host_cv_;  ///< signalled when a run parks/finishes
+  bool shutdown_ = false;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::size_t max_batch_ = 0;
+  std::size_t submitted_ = 0;
+  /// Expires with the executor; queued straggler events consult it before
+  /// touching engine accounting state.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
+  /// Live runs. A finished run is reaped at the end of drain() once no
+  /// queued event still references it (in-flight deposits and pending
+  /// timer wakes both count), so long op-by-op scenarios stay O(live).
+  std::vector<std::unique_ptr<ProtocolRun>> runs_;
+  std::vector<ProtocolRun*> runnable_;
+};
+
+}  // namespace idgka::engine

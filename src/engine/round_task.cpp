@@ -1,0 +1,113 @@
+#include "engine/round_task.h"
+
+#include <algorithm>
+
+namespace idgka::engine {
+
+RoundTask::RoundTask(net::Network& network, const std::vector<RoundSend>& sends,
+                     const std::vector<std::uint32_t>& receivers, int retries)
+    : network_(network), sends_(sends), receivers_(receivers), retries_(retries) {
+  // Collection policy: a timed medium can deliver a straggler duplicate
+  // from an earlier round during this round's drain window; collecting an
+  // off-label message would feed the wrong payload schema into the
+  // protocol, so those are ignored and retransmission covers the gap. A
+  // straggler carrying the *same* label (a previous operation's run of
+  // this round) is indistinguishable to a real receiver and is
+  // deliberately collected — the paper's protocols bind freshness into the
+  // challenge verification, which rejects the stale data and fails the run
+  // rather than agreeing on a mixed-epoch key.
+  for (const RoundSend& send : sends_) {
+    round_label_.emplace(send.message.sender, &send.message.type);
+  }
+}
+
+bool RoundTask::on_label(const net::Message& msg) const {
+  const auto it = round_label_.find(msg.sender);
+  return it != round_label_.end() && *it->second == msg.type;
+}
+
+bool RoundTask::expects(std::uint32_t receiver, const RoundSend& send) const {
+  if (send.message.sender == receiver) return false;
+  if (send.message.recipient.has_value()) return *send.message.recipient == receiver;
+  return std::find(send.group.begin(), send.group.end(), receiver) != send.group.end();
+}
+
+bool RoundTask::missing_somewhere(const RoundSend& send) const {
+  for (const std::uint32_t rx : receivers_) {
+    const auto it = result_.collected.find(rx);
+    if (!expects(rx, send)) continue;
+    if (it == result_.collected.end() || !it->second.contains(send.message.sender)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RoundTask::transmit_missing() {
+  bool sent_any = false;
+  for (const RoundSend& send : sends_) {
+    if (!missing_somewhere(send)) continue;
+    sent_any = true;
+    if (attempt_ > 0) ++result_.retransmissions;
+    if (send.message.recipient.has_value()) {
+      network_.unicast(send.message);
+    } else {
+      network_.broadcast(send.message, send.group);
+    }
+  }
+  return sent_any;
+}
+
+void RoundTask::drain_all() {
+  // Keep the first on-label copy of each (sender, receiver) pair.
+  for (const std::uint32_t rx : receivers_) {
+    for (net::Message& msg : network_.drain(rx)) {
+      if (!on_label(msg)) continue;  // straggler from an earlier round
+      result_.collected[rx].try_emplace(msg.sender, std::move(msg));
+    }
+  }
+}
+
+RoundTask::State RoundTask::step() {
+  switch (state_) {
+    case State::kTransmit:
+    case State::kRetransmit:
+      if (!transmit_missing()) {
+        result_.complete = true;
+        state_ = State::kDone;
+        break;
+      }
+      ++attempt_;
+      state_ = State::kAwait;
+      break;
+
+    case State::kAwait: {
+      // The caller let the medium deliver; drain and decide.
+      state_ = State::kDrain;
+      drain_all();
+      bool all_done = true;
+      for (const RoundSend& send : sends_) {
+        if (missing_somewhere(send)) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        result_.complete = true;
+        state_ = State::kDone;
+      } else if (attempt_ > retries_) {
+        state_ = State::kDone;  // incomplete after cap
+      } else {
+        state_ = State::kRetransmit;
+      }
+      break;
+    }
+
+    case State::kDrain:
+    case State::kDone:
+      break;  // terminal / transient; nothing to advance
+  }
+  return state_;
+}
+
+}  // namespace idgka::engine

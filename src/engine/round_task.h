@@ -1,0 +1,99 @@
+// Resumable reliable-round state machine.
+//
+// One RoundTask is one protocol round run to completion over a lossy
+// broadcast medium: every sender transmits, the task waits for the medium
+// to deliver, receivers drain, and senders whose message failed to reach
+// some receiver retransmit until every inbox is complete or the retry cap
+// is hit. The paper's protocols assume exactly this reliability layer
+// ("if equation (2) is incorrect, then all members will retransmit again").
+//
+// Unlike a blocking loop, the task never waits itself: step() advances
+// through kTransmit -> kAwait -> kDrain -> kRetransmit/kDone and *returns*
+// at kAwait, handing the wait to the caller. Two callers exist:
+//
+//   * gka::exchange_round — the synchronous shim: loops step() and maps
+//     each kAwait onto Network::await_delivery(), reproducing the seed
+//     blocking behaviour exactly;
+//   * engine::Executor — resumes the owning ProtocolRun on virtual-time
+//     timer events (and, opportunistically, when the last in-flight frame
+//     copy lands), so many rounds of many groups interleave on one clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace idgka::engine {
+
+/// One sender's contribution to a round.
+struct RoundSend {
+  net::Message message;
+  /// Receiver set for the broadcast (ring or subgroup).
+  std::vector<std::uint32_t> group;
+};
+
+/// Result of a reliable round: per-receiver, per-sender message map.
+struct RoundResult {
+  bool complete = false;
+  int retransmissions = 0;
+  /// collected[receiver][sender] = message.
+  std::map<std::uint32_t, std::map<std::uint32_t, net::Message>> collected;
+};
+
+class RoundTask {
+ public:
+  /// Explicit round states. kAwait is the only state in which the task
+  /// expects the caller to let the medium deliver before stepping again;
+  /// kRetransmit is the observable "drained but incomplete, attempts
+  /// remain" state between a failed drain and the next transmit.
+  enum class State { kTransmit, kAwait, kDrain, kRetransmit, kDone };
+
+  /// `sends` and `receivers` must outlive the task (the callers keep both
+  /// on their stack frames). `retries` is the resolved retransmission
+  /// budget — resolve precedence with Network::effective_retry_cap()
+  /// *before* constructing the task; the task itself never consults the
+  /// network's cap.
+  RoundTask(net::Network& network, const std::vector<RoundSend>& sends,
+            const std::vector<std::uint32_t>& receivers, int retries);
+
+  /// Advances the machine: transmits missing sends (kTransmit/kRetransmit)
+  /// or drains inboxes and checks completion (after an await). Returns the
+  /// state the task is now parked in — kAwait (caller must let the medium
+  /// deliver, then call step() again), kRetransmit (call step() again to
+  /// retransmit; an engine caller may interpose scheduling here), or kDone.
+  State step();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool done() const { return state_ == State::kDone; }
+  /// Attempts transmitted so far (1 = first transmit, no retransmission).
+  [[nodiscard]] int attempts() const { return attempt_; }
+
+  /// Moves the result out; only meaningful once done().
+  [[nodiscard]] RoundResult take_result() { return std::move(result_); }
+
+ private:
+  [[nodiscard]] bool on_label(const net::Message& msg) const;
+  [[nodiscard]] bool expects(std::uint32_t receiver, const RoundSend& send) const;
+  [[nodiscard]] bool missing_somewhere(const RoundSend& send) const;
+  /// Transmits every send still missing at one or more receivers; returns
+  /// whether anything went on the air.
+  bool transmit_missing();
+  void drain_all();
+
+  net::Network& network_;
+  const std::vector<RoundSend>& sends_;
+  const std::vector<std::uint32_t>& receivers_;
+  int retries_;
+  int attempt_ = 0;
+  State state_ = State::kTransmit;
+  /// Round label each sender transmits under (sender -> message type); a
+  /// drained message off its sender's label is a straggler duplicate from
+  /// an earlier round and is ignored (see the collection-policy note in
+  /// round_task.cpp).
+  std::map<std::uint32_t, const std::string*> round_label_;
+  RoundResult result_;
+};
+
+}  // namespace idgka::engine

@@ -1,91 +1,20 @@
 #include "gka/exchange.h"
 
-#include <algorithm>
-#include <map>
-
 namespace idgka::gka {
 
 RoundResult exchange_round(net::Network& network, const std::vector<RoundSend>& sends,
                            const std::vector<std::uint32_t>& receivers, int max_retries) {
-  RoundResult result;
-
-  // Round label each sender transmits under. A timed medium can deliver a
-  // straggler duplicate from an earlier round during this round's drain
-  // window; collecting an off-label message would feed the wrong payload
-  // schema into the protocol, so those are ignored and retransmission
-  // covers the gap. A straggler carrying the *same* label (a previous
-  // operation's run of this round) is indistinguishable to a real receiver
-  // and is deliberately collected — the paper's protocols bind freshness
-  // into the challenge verification, which rejects the stale data and
-  // fails the run rather than agreeing on a mixed-epoch key.
-  std::map<std::uint32_t, const std::string*> round_label;
-  for (const RoundSend& send : sends) {
-    round_label.emplace(send.message.sender, &send.message.type);
-  }
-  const auto on_label = [&](const net::Message& msg) {
-    const auto it = round_label.find(msg.sender);
-    return it != round_label.end() && *it->second == msg.type;
-  };
-
-  // Which receivers still miss which sender's message?
-  auto expects = [&](std::uint32_t receiver, const RoundSend& send) {
-    if (send.message.sender == receiver) return false;
-    if (send.message.recipient.has_value()) return *send.message.recipient == receiver;
-    return std::find(send.group.begin(), send.group.end(), receiver) != send.group.end();
-  };
-
-  auto missing_somewhere = [&](const RoundSend& send) {
-    for (const std::uint32_t rx : receivers) {
-      if (expects(rx, send) && !result.collected[rx].contains(send.message.sender)) {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  const int retries = network.retry_cap().value_or(max_retries);
-  for (int attempt = 0; attempt <= retries; ++attempt) {
-    // Transmit every message still missing at one or more receivers.
-    bool sent_any = false;
-    for (const RoundSend& send : sends) {
-      if (!missing_somewhere(send)) continue;
-      sent_any = true;
-      if (attempt > 0) ++result.retransmissions;
-      if (send.message.recipient.has_value()) {
-        network.unicast(send.message);
-      } else {
-        network.broadcast(send.message, send.group);
-      }
-    }
-    if (!sent_any) {
-      result.complete = true;
-      return result;
-    }
-    // Under a timed driver this advances the virtual clock by one round
-    // timeout so scheduled deposits land; lockstep networks no-op.
-    network.await_delivery();
-    // Drain inboxes: keep the first on-label copy of each (sender,
-    // receiver) pair.
-    for (const std::uint32_t rx : receivers) {
-      for (net::Message& msg : network.drain(rx)) {
-        if (!on_label(msg)) continue;  // straggler from an earlier round
-        result.collected[rx].try_emplace(msg.sender, std::move(msg));
-      }
-    }
-    // Completion check.
-    bool all_done = true;
-    for (const RoundSend& send : sends) {
-      if (missing_somewhere(send)) {
-        all_done = false;
-        break;
-      }
-    }
-    if (all_done) {
-      result.complete = true;
-      return result;
+  engine::RoundTask task(network, sends, receivers,
+                         network.effective_retry_cap(max_retries));
+  while (!task.done()) {
+    if (task.step() == engine::RoundTask::State::kAwait) {
+      // Under a timed driver this yields the hosting ProtocolRun (or
+      // advances the virtual clock by one round timeout when no engine is
+      // attached) so scheduled deposits land; lockstep networks no-op.
+      network.await_delivery();
     }
   }
-  return result;  // incomplete after cap
+  return task.take_result();
 }
 
 }  // namespace idgka::gka

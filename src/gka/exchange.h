@@ -6,37 +6,41 @@
 // senders whose message failed to reach some receiver rebroadcast (the
 // radio cost of every attempt is accounted) until all inboxes are complete
 // or the retry cap is hit.
+//
+// The round itself is the resumable engine::RoundTask state machine
+// (kTransmit -> kAwait -> kDrain -> kRetransmit/kDone); exchange_round is
+// the thin synchronous shim the protocol code calls: it steps the task and
+// maps each kAwait onto Network::await_delivery(), so blocking callers see
+// the exact seed behaviour while an engine-hosted run yields its thread at
+// every await and interleaves with other groups on one virtual clock.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "engine/round_task.h"
 #include "net/network.h"
 
 namespace idgka::gka {
 
-/// One sender's contribution to a round.
-struct RoundSend {
-  net::Message message;
-  /// Receiver set for the broadcast (ring or subgroup).
-  std::vector<std::uint32_t> group;
-};
+/// One sender's contribution to a round (engine type, re-exported).
+using RoundSend = engine::RoundSend;
 
-/// Result of a reliable round: per-receiver, per-sender message map.
-struct RoundResult {
-  bool complete = false;
-  int retransmissions = 0;
-  /// collected[receiver][sender] = message.
-  std::map<std::uint32_t, std::map<std::uint32_t, net::Message>> collected;
-};
+/// Result of a reliable round: per-receiver, per-sender message map
+/// (engine type, re-exported).
+using RoundResult = engine::RoundResult;
 
 /// Executes one reliable broadcast round. `receivers` lists every node that
 /// must end up with all messages addressed to it. A sender that is also a
 /// receiver implicitly "has" its own message. Between transmitting and
 /// draining the round calls Network::await_delivery(), so a timed driver
-/// can advance the clock by its round timeout; `max_retries` is overridden
-/// by Network::retry_cap() when the driver bounds retransmission.
+/// can advance the clock by its round timeout.
+///
+/// Retry-cap precedence (resolved once, via Network::effective_retry_cap):
+/// a driver-installed Network::retry_cap() ALWAYS overrides the `max_retries`
+/// argument; `max_retries` is only the default for networks no driver has
+/// bounded. Every reliable loop in the codebase (this one and the cluster
+/// rekey distribution) resolves its budget the same way.
 [[nodiscard]] RoundResult exchange_round(net::Network& network,
                                          const std::vector<RoundSend>& sends,
                                          const std::vector<std::uint32_t>& receivers,

@@ -29,7 +29,7 @@ const char* scheme_name(Scheme scheme) {
 GroupSession::GroupSession(Authority& authority, Scheme scheme,
                            std::vector<std::uint32_t> ids, std::uint64_t seed,
                            double loss_rate)
-    : authority_(authority),
+    : authority_(&authority),
       scheme_(scheme),
       seed_(seed),
       loss_rate_(loss_rate),
@@ -37,7 +37,7 @@ GroupSession::GroupSession(Authority& authority, Scheme scheme,
   if (ids.size() < 2) throw std::invalid_argument("GroupSession: need at least 2 members");
   members_.reserve(ids.size());
   for (const std::uint32_t id : ids) {
-    members_.push_back(make_member(authority_.enroll(id), seed_));
+    members_.push_back(make_member(authority_->enroll(id), seed_));
     network_->add_node(id);
   }
   snapshot_traffic();
@@ -79,20 +79,20 @@ RunResult GroupSession::form() {
   RunResult result;
   switch (scheme_) {
     case Scheme::kProposed:
-      result = run_proposed(authority_.params(), members_, *network_,
+      result = run_proposed(authority_->params(), members_, *network_,
                             ProposedOptions{key_confirmation_});
       break;
     case Scheme::kBdSok:
-      result = run_bd_signed(authority_, BdAuth::kSok, members_, *network_);
+      result = run_bd_signed(*authority_, BdAuth::kSok, members_, *network_);
       break;
     case Scheme::kBdEcdsa:
-      result = run_bd_signed(authority_, BdAuth::kEcdsa, members_, *network_);
+      result = run_bd_signed(*authority_, BdAuth::kEcdsa, members_, *network_);
       break;
     case Scheme::kBdDsa:
-      result = run_bd_signed(authority_, BdAuth::kDsa, members_, *network_);
+      result = run_bd_signed(*authority_, BdAuth::kDsa, members_, *network_);
       break;
     case Scheme::kSsn:
-      result = run_ssn(authority_.params(), members_, *network_);
+      result = run_ssn(authority_->params(), members_, *network_);
       break;
   }
   absorb_traffic();
@@ -103,7 +103,7 @@ RunResult GroupSession::reexecute() { return form(); }
 
 RunResult GroupSession::join(std::uint32_t new_id) {
   if (find(new_id) != nullptr) throw std::invalid_argument("join: id already in group");
-  MemberCtx joiner = make_member(authority_.enroll(new_id), seed_);
+  MemberCtx joiner = make_member(authority_->enroll(new_id), seed_);
   network_->add_node(new_id);
 
   if (scheme_ != Scheme::kProposed) {
@@ -112,7 +112,7 @@ RunResult GroupSession::join(std::uint32_t new_id) {
   }
 
   snapshot_traffic();
-  RunResult result = run_join(authority_.params(), members_, joiner, *network_);
+  RunResult result = run_join(authority_->params(), members_, joiner, *network_);
   members_.push_back(std::move(joiner));
   absorb_traffic();
   if (!result.success) members_.back().key = BigInt{};
@@ -133,7 +133,7 @@ RunResult GroupSession::leave(std::uint32_t id) {
   }
 
   snapshot_traffic();
-  RunResult result = run_leave(authority_.params(), members_, id, *network_,
+  RunResult result = run_leave(authority_->params(), members_, id, *network_,
                                refresh_all_commitments_);
   absorb_traffic();
   if (result.success) {
@@ -161,7 +161,7 @@ RunResult GroupSession::partition(const std::vector<std::uint32_t>& leaver_ids) 
   }
 
   snapshot_traffic();
-  RunResult result = run_partition(authority_.params(), members_, leaver_ids,
+  RunResult result = run_partition(authority_->params(), members_, leaver_ids,
                                    *network_, refresh_all_commitments_);
   absorb_traffic();
   if (result.success) {
@@ -175,7 +175,7 @@ RunResult GroupSession::partition(const std::vector<std::uint32_t>& leaver_ids) 
 
 RunResult GroupSession::merge(GroupSession& other) {
   if (&other == this) throw std::invalid_argument("merge: cannot merge with self");
-  if (other.scheme_ != scheme_ || &other.authority_ != &authority_) {
+  if (other.scheme_ != scheme_ || other.authority_ != authority_) {
     throw std::invalid_argument("merge: sessions must share scheme and authority");
   }
   for (const MemberCtx& m : other.members_) {
@@ -206,7 +206,7 @@ RunResult GroupSession::merge(GroupSession& other) {
     traffic_snapshot_[m.cred.id] = network_->stats(m.cred.id);
   }
   RunResult result =
-      run_merge(authority_.params(), members_, other.members_, *network_);
+      run_merge(authority_->params(), members_, other.members_, *network_);
   for (MemberCtx& m : other.members_) members_.push_back(std::move(m));
   other.members_.clear();
   absorb_traffic();
@@ -221,7 +221,7 @@ void GroupSession::set_network_hook(NetworkHook hook) {
 GroupSession GroupSession::split(const std::vector<std::uint32_t>& moved_ids,
                                  std::uint64_t seed) {
   if (moved_ids.size() < 2) throw std::invalid_argument("split: need >= 2 moved members");
-  GroupSession offshoot(authority_, scheme_, moved_ids, seed, loss_rate_);
+  GroupSession offshoot(*authority_, scheme_, moved_ids, seed, loss_rate_);
   if (network_hook_) offshoot.set_network_hook(network_hook_);
   if (!partition(moved_ids).success) {
     throw std::runtime_error("split: survivor rekey failed");

@@ -32,8 +32,14 @@ class GroupSession {
   GroupSession(Authority& authority, Scheme scheme, std::vector<std::uint32_t> ids,
                std::uint64_t seed, double loss_rate = 0.0);
 
+  /// Sessions are move-only (the network and member DRBGs are unique).
+  /// Both move operations are defined and leave the moved-from session
+  /// empty-but-destructible; the authority is held by pointer so
+  /// move-assignment can rebind it.
   GroupSession(GroupSession&&) = default;
-  GroupSession& operator=(GroupSession&&) = delete;
+  GroupSession& operator=(GroupSession&&) = default;
+  GroupSession(const GroupSession&) = delete;
+  GroupSession& operator=(const GroupSession&) = delete;
 
   /// Runs the initial GKA among the current members.
   RunResult form();
@@ -89,7 +95,7 @@ class GroupSession {
   /// Extension: adds an explicit key-confirmation round to form() under
   /// Scheme::kProposed (see gka/proposed.h).
   void set_key_confirmation(bool enabled) { key_confirmation_ = enabled; }
-  [[nodiscard]] const Authority& authority() const { return authority_; }
+  [[nodiscard]] const Authority& authority() const { return *authority_; }
 
   /// Direct member access for tests/benches (ring order).
   [[nodiscard]] const std::vector<MemberCtx>& members() const { return members_; }
@@ -100,7 +106,7 @@ class GroupSession {
   void absorb_traffic();
   MemberCtx* find(std::uint32_t id);
 
-  Authority& authority_;
+  Authority* authority_;  ///< never null; pointer (not reference) so moves rebind
   Scheme scheme_;
   std::uint64_t seed_;
   double loss_rate_;

@@ -159,8 +159,10 @@ class Network {
 
   /// Invoked by reliable-round loops (gka::exchange_round, the cluster
   /// rekey distribution) between transmitting and draining. The sim layer
-  /// installs a barrier that advances the virtual clock by one round
-  /// timeout so in-flight deposits land; without one, rounds stay lockstep.
+  /// installs a barrier that yields the hosting engine::ProtocolRun for one
+  /// round timeout (falling back to advancing the virtual clock directly on
+  /// a non-engine thread) so in-flight deposits land; without one, rounds
+  /// stay lockstep.
   using RoundBarrier = std::function<void()>;
   void set_round_barrier(RoundBarrier barrier) { round_barrier_ = std::move(barrier); }
   void await_delivery() {
@@ -171,6 +173,14 @@ class Network {
   /// with (bounded retransmission under a timed driver).
   void set_retry_cap(int cap) { retry_cap_ = cap; }
   [[nodiscard]] std::optional<int> retry_cap() const { return retry_cap_; }
+  /// Single source of truth for retry-cap precedence: a driver-installed
+  /// set_retry_cap() ALWAYS wins over a reliable loop's call-site default
+  /// `fallback`. Every reliable loop (gka::exchange_round, the cluster
+  /// rekey distribution) resolves its retransmission budget through here —
+  /// never by reading retry_cap() and improvising its own precedence.
+  [[nodiscard]] int effective_retry_cap(int fallback) const {
+    return retry_cap_.value_or(fallback);
+  }
 
  private:
   wire::Frame encode_and_charge(const Message& msg);

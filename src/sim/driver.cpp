@@ -6,13 +6,30 @@
 
 namespace idgka::sim {
 
-ProtocolDriver::ProtocolDriver(Scheduler& scheduler, const DriverConfig& config,
-                               std::uint64_t seed)
-    : scheduler_(scheduler), cfg_(config), link_(config.link, seed) {
-  if (cfg_.round_timeout_us == 0) {
+namespace {
+
+void validate(const DriverConfig& cfg) {
+  if (cfg.round_timeout_us == 0) {
     throw std::invalid_argument("ProtocolDriver: round_timeout_us must be > 0");
   }
-  if (cfg_.retry_cap < 0) throw std::invalid_argument("ProtocolDriver: retry_cap < 0");
+  if (cfg.retry_cap < 0) throw std::invalid_argument("ProtocolDriver: retry_cap < 0");
+}
+
+}  // namespace
+
+ProtocolDriver::ProtocolDriver(Scheduler& scheduler, const DriverConfig& config,
+                               std::uint64_t seed)
+    : cfg_(config),
+      link_(config.link, seed),
+      owned_exec_(std::make_unique<engine::Executor>(scheduler)) {
+  exec_ = owned_exec_.get();
+  validate(cfg_);
+}
+
+ProtocolDriver::ProtocolDriver(engine::Executor& executor, const DriverConfig& config,
+                               std::uint64_t seed)
+    : exec_(&executor), cfg_(config), link_(config.link, seed) {
+  validate(cfg_);
 }
 
 void ProtocolDriver::install(net::Network& network) {
@@ -26,20 +43,30 @@ void ProtocolDriver::install(net::Network& network) {
     // The link serializes the actual frame bytes; paper-accounted bits are
     // for the energy model only. Capturing the frame in the deposit event
     // is an O(1) buffer reference — every in-flight copy of a broadcast
-    // shares one encoding.
+    // shares one encoding. The event is attributed to the posting run so a
+    // resume_on_arrival await can fire the moment the channel goes quiet.
     const LinkModel::Verdict verdict = link_.transmit(frame.size_bits(), frame.sender(), to);
     if (verdict.dropped) {
       net->record_drop(frame, to);
       return;
     }
-    scheduler_.after(verdict.delay_us,
-                     [net, frame, to, weak = std::weak_ptr<int>(token)] {
-                       if (weak.expired()) return;
-                       net->deposit(frame, to);
-                     });
+    exec_->post(verdict.delay_us,
+                [net, frame, to, weak = std::weak_ptr<int>(token)] {
+                  if (weak.expired()) return;
+                  net->deposit(frame, to);
+                },
+                engine::ProtocolRun::current());
   });
-  network.set_round_barrier(
-      [this] { scheduler_.run_until(scheduler_.now() + cfg_.round_timeout_us); });
+  network.set_round_barrier([this] {
+    if (engine::ProtocolRun* run = engine::ProtocolRun::current()) {
+      run->await_round(cfg_.round_timeout_us, cfg_.resume_on_arrival);
+    } else {
+      // No engine on this thread (an op invoked outside any driver/run —
+      // e.g. direct session calls in tests): advance the clock directly.
+      Scheduler& sched = exec_->scheduler();
+      sched.run_until(sched.now() + cfg_.round_timeout_us);
+    }
+  });
   network.set_retry_cap(cfg_.retry_cap);
   network.set_frame_sniffer([this](const wire::Frame& frame) {
     ++frames_;
@@ -73,15 +100,27 @@ OpOutcome ProtocolDriver::timed(const std::function<bool(OpOutcome&)>& op) {
     throw std::logic_error("ProtocolDriver: no session attached");
   }
   OpOutcome outcome;
-  outcome.start_us = scheduler_.now();
-  try {
-    outcome.success = op(outcome);
-  } catch (const std::runtime_error&) {
-    // A protocol run exhausted its retransmission budget (or a dependent
-    // leaf/tier rekey did). The clock still advanced; report failure.
-    outcome.success = false;
+  const auto body = [this, &op, &outcome](engine::ProtocolRun& run) {
+    outcome.start_us = run.now();
+    try {
+      outcome.success = op(outcome);
+    } catch (const std::runtime_error&) {
+      // A protocol run exhausted its retransmission budget (or a dependent
+      // leaf/tier rekey did). The clock still advanced; report failure.
+      outcome.success = false;
+    }
+    outcome.end_us = run.now();
+  };
+  if (engine::ProtocolRun* run = engine::ProtocolRun::current()) {
+    // Already hosted (a multi-group scenario script): execute inline on
+    // the calling run; its awaits interleave with other registered runs.
+    body(*run);
+  } else {
+    // Plain-thread call: host the operation as a fresh ProtocolRun and
+    // drive the engine until it (and any sibling runs) completes.
+    exec_->submit("op", body);
+    exec_->drain();
   }
-  outcome.end_us = scheduler_.now();
   return outcome;
 }
 

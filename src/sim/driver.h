@@ -6,25 +6,38 @@
 // splits), three hooks:
 //
 //   * a Transport that prices each (message, receiver) copy through the
-//     LinkModel and schedules its arrival (Network::deposit) on the
-//     Scheduler — or records the drop;
-//   * a RoundBarrier that advances the virtual clock by one round timeout
-//     between a reliable round's transmit and drain phases, so the
-//     protocols run against timeouts and bounded retransmission instead of
-//     lockstep inbox drains;
+//     LinkModel and posts its arrival through the engine::Executor (the
+//     event is attributed to the posting ProtocolRun for frame-arrival
+//     resumption) — or records the drop;
+//   * a RoundBarrier that yields the hosting ProtocolRun for one round
+//     timeout between a reliable round's transmit and drain phases, so the
+//     protocols run against timeouts and bounded retransmission while other
+//     groups' runs interleave on the same clock;
 //   * sniffer/drop observers that accumulate bits-on-air and lost copies
 //     across the whole run, surviving internal network teardown.
 //
-// A membership operation then executes synchronously while virtual time
-// advances inside it; the OpOutcome captures its start/end timestamps —
-// the key-agreement latency the scenario metrics aggregate.
+// Execution is event-driven end to end: every membership operation is an
+// engine::ProtocolRun. Called from a plain thread, the driver submits the
+// operation to its executor and drains it — the call stays synchronous and
+// virtual time advances inside it, exactly the seed behaviour. Called from
+// inside a run body (a multi-group scenario script), the operation executes
+// inline on the calling run, yielding at each await so the executor can
+// interleave many groups' rounds. The OpOutcome captures the operation's
+// start/end timestamps — the key-agreement latency the scenario metrics
+// aggregate.
+//
+// One driver serves one session and must only be used from one run (or the
+// host thread) at a time; concurrent groups get one driver each, sharing an
+// Executor.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/hierarchical_session.h"
+#include "engine/executor.h"
 #include "gka/session.h"
 #include "sim/link.h"
 #include "sim/scheduler.h"
@@ -39,9 +52,18 @@ struct DriverConfig {
   /// out at least once.
   SimTime round_timeout_us = 60'000;
   /// Bounded retransmission: attempts per reliable round before the
-  /// protocol run is declared failed (overrides the protocols' default cap
-  /// on every attached network).
+  /// protocol run is declared failed. Installed as Network::retry_cap on
+  /// every attached network, which overrides the protocols' call-site
+  /// defaults (see Network::effective_retry_cap for the precedence rule).
   int retry_cap = 32;
+  /// Opt-in frame-arrival resumption: a round await returns as soon as the
+  /// last in-flight copy this run posted has landed (and an incomplete
+  /// round retransmits immediately on a quiet channel) instead of always
+  /// burning the full round timeout. Same protocol outcomes — loss is
+  /// drawn at transmit time — but latencies become arrival-true rather
+  /// than timeout-quantized, so it is off by default to preserve the
+  /// seed's timing model.
+  bool resume_on_arrival = false;
 };
 
 /// Outcome of one timed membership operation.
@@ -59,9 +81,18 @@ struct OpOutcome {
 
 class ProtocolDriver {
  public:
+  /// Standalone driver: owns a private engine::Executor over `scheduler`.
   ProtocolDriver(Scheduler& scheduler, const DriverConfig& config, std::uint64_t seed);
+  /// Concurrent-group driver: shares `executor` (and its scheduler) with
+  /// other drivers; membership operations invoked from inside that
+  /// executor's run bodies interleave with every other registered run.
+  ProtocolDriver(engine::Executor& executor, const DriverConfig& config,
+                 std::uint64_t seed);
 
-  /// Attaches a session (exactly one, before any traffic flows).
+  /// Attaches a session (exactly one, before any traffic flows). The
+  /// driver keeps a pointer to `session` for its lifetime: the session
+  /// must outlive the driver and must not be moved-from while attached
+  /// (GroupSession is movable — hand the driver its final home).
   void attach(gka::GroupSession& session);
   void attach(cluster::HierarchicalSession& session);
 
@@ -98,12 +129,13 @@ class ProtocolDriver {
   [[nodiscard]] std::uint64_t bits_dropped() const { return drop_bits_; }
   [[nodiscard]] const LinkModel& link() const { return link_; }
   [[nodiscard]] const DriverConfig& config() const { return cfg_; }
+  [[nodiscard]] engine::Executor& executor() { return *exec_; }
 
  private:
   void install(net::Network& network);
   OpOutcome timed(const std::function<bool(OpOutcome&)>& op);
 
-  Scheduler& scheduler_;
+  engine::Executor* exec_ = nullptr;
   DriverConfig cfg_;
   LinkModel link_;
   gka::GroupSession* flat_ = nullptr;
@@ -114,6 +146,11 @@ class ProtocolDriver {
   std::uint64_t encoded_bits_ = 0;
   std::uint64_t drop_copies_ = 0;
   std::uint64_t drop_bits_ = 0;
+
+  /// Declared last: a standalone driver's executor must be destroyed first
+  /// (its teardown aborts any still-parked run, which may unwind through
+  /// frames referencing link_/cfg_ above).
+  std::unique_ptr<engine::Executor> owned_exec_;
 };
 
 }  // namespace idgka::sim

@@ -23,6 +23,17 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// `{"count":N,"p50_us":...,"p99_us":...}` over one latency sample.
+void append_percentile_block(std::string& out, const std::vector<SimTime>& sample) {
+  out += '{';
+  append_kv(out, "count", std::to_string(sample.size()), false);
+  out += ',';
+  append_kv(out, "p50_us", std::to_string(percentile_us(sample, 50.0)), false);
+  out += ',';
+  append_kv(out, "p99_us", std::to_string(percentile_us(sample, 99.0)), false);
+  out += '}';
+}
+
 }  // namespace
 
 SimTime percentile_us(std::vector<SimTime> sample, double q) {
@@ -76,6 +87,23 @@ std::string Metrics::to_json() const {
   append_kv(out, "p99", std::to_string(percentile_us(rekey_latencies_us, 99.0)), false);
   out += ',';
   append_kv(out, "max", std::to_string(percentile_us(rekey_latencies_us, 100.0)), false);
+  // Per-operation latency percentiles: `all` spans every completed
+  // operation including form (whose start/end stamps stay in the `form`
+  // block above); the kind keys split the rekeys by membership event.
+  out += "},\"latency\":{";
+  append_kv(out, "count", std::to_string(op_latencies_us.all.size()), false);
+  out += ',';
+  append_kv(out, "p50_us", std::to_string(percentile_us(op_latencies_us.all, 50.0)), false);
+  out += ',';
+  append_kv(out, "p99_us", std::to_string(percentile_us(op_latencies_us.all, 99.0)), false);
+  out += ",\"join\":";
+  append_percentile_block(out, op_latencies_us.join);
+  out += ",\"leave\":";
+  append_percentile_block(out, op_latencies_us.leave);
+  out += ",\"partition\":";
+  append_percentile_block(out, op_latencies_us.partition);
+  out += ",\"merge\":";
+  append_percentile_block(out, op_latencies_us.merge);
   out += "},\"air\":{";
   append_kv(out, "frames", std::to_string(frames_on_air), false);
   out += ',';
@@ -102,6 +130,103 @@ std::string Metrics::to_json() const {
   out += ',';
   append_kv(out, "end_time_us", std::to_string(end_time_us), false);
   out += '}';
+  return out;
+}
+
+std::size_t MultiGroupMetrics::rekeys_attempted() const {
+  std::size_t total = 0;
+  for (const Metrics& g : per_group) total += g.rekeys_attempted;
+  return total;
+}
+
+std::size_t MultiGroupMetrics::rekeys_completed() const {
+  std::size_t total = 0;
+  for (const Metrics& g : per_group) total += g.rekeys_completed;
+  return total;
+}
+
+double MultiGroupMetrics::convergence() const {
+  const std::size_t attempted = rekeys_attempted();
+  return attempted == 0 ? 1.0
+                        : static_cast<double>(rekeys_completed()) /
+                              static_cast<double>(attempted);
+}
+
+bool MultiGroupMetrics::all_groups_agree() const {
+  if (per_group.empty()) return false;
+  return std::all_of(per_group.begin(), per_group.end(),
+                     [](const Metrics& g) { return g.all_members_agree; });
+}
+
+std::vector<SimTime> MultiGroupMetrics::all_op_latencies_us() const {
+  std::vector<SimTime> all;
+  for (const Metrics& g : per_group) {
+    all.insert(all.end(), g.op_latencies_us.all.begin(), g.op_latencies_us.all.end());
+  }
+  return all;
+}
+
+std::string MultiGroupMetrics::to_json() const {
+  std::uint64_t frames = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t encoded = 0;
+  std::uint64_t drops = 0;
+  for (const Metrics& g : per_group) {
+    frames += g.frames_on_air;
+    bits += g.bits_on_air;
+    encoded += g.encoded_bits_on_air;
+    drops += g.copies_dropped;
+  }
+
+  std::string out = "{";
+  append_kv(out, "scenario", scenario, true);
+  out += ',';
+  append_kv(out, "seed", std::to_string(seed), false);
+  out += ',';
+  append_kv(out, "groups", std::to_string(per_group.size()), false);
+  out += ",\"aggregate\":{\"rekeys\":{";
+  append_kv(out, "attempted", std::to_string(rekeys_attempted()), false);
+  out += ',';
+  append_kv(out, "completed", std::to_string(rekeys_completed()), false);
+  out += ',';
+  append_kv(out, "convergence", fmt_double(convergence()), false);
+  out += "},\"latency\":{";
+  const std::vector<SimTime> all = all_op_latencies_us();
+  append_kv(out, "count", std::to_string(all.size()), false);
+  out += ',';
+  append_kv(out, "p50_us", std::to_string(percentile_us(all, 50.0)), false);
+  out += ',';
+  append_kv(out, "p90_us", std::to_string(percentile_us(all, 90.0)), false);
+  out += ',';
+  append_kv(out, "p99_us", std::to_string(percentile_us(all, 99.0)), false);
+  out += ',';
+  append_kv(out, "max_us", std::to_string(percentile_us(all, 100.0)), false);
+  out += "},\"air\":{";
+  append_kv(out, "frames", std::to_string(frames), false);
+  out += ',';
+  append_kv(out, "bits", std::to_string(bits), false);
+  out += ',';
+  append_kv(out, "encoded_bits", std::to_string(encoded), false);
+  out += ',';
+  append_kv(out, "copies_dropped", std::to_string(drops), false);
+  out += "},\"engine\":{";
+  append_kv(out, "resumes", std::to_string(engine_resumes), false);
+  out += ',';
+  append_kv(out, "max_concurrent_runs", std::to_string(max_concurrent_runs), false);
+  out += "},\"crypto\":{";
+  append_kv(out, "exps", std::to_string(crypto_exps), false);
+  out += ',';
+  append_kv(out, "mod_muls", std::to_string(crypto_mod_muls), false);
+  out += "},";
+  append_kv(out, "all_groups_agree", all_groups_agree() ? "true" : "false", false);
+  out += ',';
+  append_kv(out, "end_time_us", std::to_string(end_time_us), false);
+  out += "},\"per_group\":[";
+  for (std::size_t i = 0; i < per_group.size(); ++i) {
+    if (i > 0) out += ',';
+    out += per_group[i].to_json();
+  }
+  out += "]}";
   return out;
 }
 

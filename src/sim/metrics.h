@@ -41,6 +41,17 @@ struct Metrics {
   std::size_t events_merge = 0;
   /// Latency of each completed rekey, in event order.
   std::vector<SimTime> rekey_latencies_us;
+  /// Per-operation latency samples feeding the JSON `latency` block:
+  /// `all` covers every completed operation including form; the per-kind
+  /// vectors split the rekeys by membership-event kind.
+  struct OpLatencies {
+    std::vector<SimTime> all;
+    std::vector<SimTime> join;
+    std::vector<SimTime> leave;
+    std::vector<SimTime> partition;
+    std::vector<SimTime> merge;
+  };
+  OpLatencies op_latencies_us;
 
   /// On-air accounting (per transmission, not per copy) and per-copy drops.
   /// bits_on_air is paper-accounted; encoded_bits_on_air is the codec-true
@@ -72,6 +83,39 @@ struct Metrics {
   }
 
   /// One-line deterministic JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Metrics of one multi-group run: M independent clusters with overlapping
+/// churn traces interleaved by the engine on one virtual clock. Per-group
+/// metrics are ordinary Metrics (deterministic regardless of worker
+/// count); the aggregate block sums them and adds engine bookkeeping.
+struct MultiGroupMetrics {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::vector<Metrics> per_group;
+
+  /// Engine bookkeeping: total ProtocolRun resumptions and the widest
+  /// same-instant batch (> 1 proves rounds of independent groups
+  /// genuinely interleaved).
+  std::uint64_t engine_resumes = 0;
+  std::size_t max_concurrent_runs = 0;
+
+  /// Crypto work across the whole run (all groups + authority setup).
+  std::uint64_t crypto_exps = 0;
+  std::uint64_t crypto_mod_muls = 0;
+  /// Clock value when the last group settled.
+  SimTime end_time_us = 0;
+
+  // --- Aggregates over per_group ---
+  [[nodiscard]] std::size_t rekeys_attempted() const;
+  [[nodiscard]] std::size_t rekeys_completed() const;
+  [[nodiscard]] double convergence() const;
+  [[nodiscard]] bool all_groups_agree() const;
+  /// Every group's per-operation latency samples, in group order.
+  [[nodiscard]] std::vector<SimTime> all_op_latencies_us() const;
+
+  /// One-line deterministic JSON: aggregate block + per-group array.
   [[nodiscard]] std::string to_json() const;
 };
 

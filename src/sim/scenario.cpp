@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -12,6 +13,71 @@
 namespace idgka::sim {
 
 namespace {
+
+// --- Churn helpers shared by the single-scenario Run and the multi-group
+// --- Group (identical rekey recording and membership-guard rules).
+
+/// Records one rekey attempt; `kind_sample` is the per-kind latency vector
+/// of the operation actually performed, feeding the JSON `latency` block.
+void record_rekey(Metrics& metrics, const ProtocolDriver& driver, const OpOutcome& outcome,
+                  std::vector<SimTime>& kind_sample) {
+  ++metrics.rekeys_attempted;
+  if (outcome.success && driver.agreed()) {
+    ++metrics.rekeys_completed;
+    metrics.rekey_latencies_us.push_back(outcome.latency_us());
+    metrics.op_latencies_us.all.push_back(outcome.latency_us());
+    kind_sample.push_back(outcome.latency_us());
+  }
+}
+
+void remove_members(ProtocolDriver& driver, Metrics& metrics,
+                    std::vector<std::uint32_t> ids, std::size_t& event_counter) {
+  std::erase_if(ids, [&](std::uint32_t id) { return !driver.contains(id); });
+  // Protocols need >= 2 survivors; keep the overflow in the group.
+  while (!ids.empty() && driver.size() - ids.size() < 2) ids.pop_back();
+  if (ids.empty()) return;
+  const bool single = ids.size() == 1;
+  const OpOutcome outcome = single ? driver.leave(ids.front()) : driver.partition(ids);
+  event_counter += ids.size();
+  record_rekey(metrics, driver, outcome,
+               single ? metrics.op_latencies_us.leave : metrics.op_latencies_us.partition);
+}
+
+/// `eligible` filters candidates beyond the already-a-member check (the
+/// battery-backed scenario registers nodes and rejects dead ones; the
+/// multi-group runner admits everyone).
+void admit_members(ProtocolDriver& driver, Metrics& metrics, std::vector<std::uint32_t> ids,
+                   std::size_t& event_counter,
+                   const std::function<bool(std::uint32_t)>& eligible) {
+  std::erase_if(ids, [&](std::uint32_t id) {
+    return (eligible && !eligible(id)) || driver.contains(id);
+  });
+  if (ids.empty()) return;
+  const bool single = ids.size() == 1;
+  const OpOutcome outcome = single ? driver.join(ids.front()) : driver.admit(ids);
+  event_counter += ids.size();
+  record_rekey(metrics, driver, outcome,
+               single ? metrics.op_latencies_us.join : metrics.op_latencies_us.merge);
+}
+
+void apply_trace_event(ProtocolDriver& driver, Metrics& metrics, TraceEvent::Kind kind,
+                       std::vector<std::uint32_t> ids,
+                       const std::function<bool(std::uint32_t)>& eligible) {
+  switch (kind) {
+    case TraceEvent::Kind::kJoin:
+      admit_members(driver, metrics, {ids.front()}, metrics.events_join, eligible);
+      break;
+    case TraceEvent::Kind::kLeave:
+      remove_members(driver, metrics, {ids.front()}, metrics.events_leave);
+      break;
+    case TraceEvent::Kind::kPartition:
+      remove_members(driver, metrics, std::move(ids), metrics.events_partition);
+      break;
+    case TraceEvent::Kind::kMerge:
+      admit_members(driver, metrics, std::move(ids), metrics.events_merge, eligible);
+      break;
+  }
+}
 
 struct Mobile {
   double x = 0.0;
@@ -105,14 +171,6 @@ struct Run {
     }
   }
 
-  void record_rekey(const OpOutcome& outcome) {
-    ++metrics.rekeys_attempted;
-    if (outcome.success && driver.agreed()) {
-      ++metrics.rekeys_completed;
-      metrics.rekey_latencies_us.push_back(outcome.latency_us());
-    }
-  }
-
   /// Folds every known node's energy up to `now`; returns in-session nodes
   /// that just died (they must be removed from the group).
   std::vector<std::uint32_t> sample_batteries(SimTime now) {
@@ -126,44 +184,17 @@ struct Run {
     return dead_members;
   }
 
-  void remove_members(std::vector<std::uint32_t> ids, std::size_t& event_counter) {
-    std::erase_if(ids, [&](std::uint32_t id) { return !driver.contains(id); });
-    // Protocols need >= 2 survivors; keep the overflow in the group.
-    while (!ids.empty() && driver.size() - ids.size() < 2) ids.pop_back();
-    if (ids.empty()) return;
-    const OpOutcome outcome =
-        ids.size() == 1 ? driver.leave(ids.front()) : driver.partition(ids);
-    event_counter += ids.size();
-    record_rekey(outcome);
-  }
-
-  void admit_members(std::vector<std::uint32_t> ids, std::size_t& event_counter) {
-    std::erase_if(ids, [&](std::uint32_t id) {
+  /// Admission filter: register the node with the battery bank (and the
+  /// mobility field) and reject it while its battery is dead.
+  [[nodiscard]] std::function<bool(std::uint32_t)> admission() {
+    return [this](std::uint32_t id) {
       register_node(id);
-      return driver.contains(id) || !bank.alive(id);
-    });
-    if (ids.empty()) return;
-    const OpOutcome outcome =
-        ids.size() == 1 ? driver.join(ids.front()) : driver.admit(ids);
-    event_counter += ids.size();
-    record_rekey(outcome);
+      return bank.alive(id);
+    };
   }
 
   void apply_trace(const TraceEvent& event) {
-    switch (event.kind) {
-      case TraceEvent::Kind::kJoin:
-        admit_members({event.ids.front()}, metrics.events_join);
-        break;
-      case TraceEvent::Kind::kLeave:
-        remove_members({event.ids.front()}, metrics.events_leave);
-        break;
-      case TraceEvent::Kind::kPartition:
-        remove_members(event.ids, metrics.events_partition);
-        break;
-      case TraceEvent::Kind::kMerge:
-        admit_members(event.ids, metrics.events_merge);
-        break;
-    }
+    apply_trace_event(driver, metrics, event.kind, event.ids, admission());
   }
 
   void apply_mobility_churn() {
@@ -175,12 +206,12 @@ struct Run {
       if (member && !m.in_range) outs.push_back(id);
       if (!member && m.in_range) ins.push_back(id);
     }
-    remove_members(std::move(outs), metrics.events_leave);
-    admit_members(std::move(ins), metrics.events_join);
+    remove_members(driver, metrics, std::move(outs), metrics.events_leave);
+    admit_members(driver, metrics, std::move(ins), metrics.events_join, admission());
   }
 
   void handle_deaths(const std::vector<std::uint32_t>& dead_members) {
-    remove_members(dead_members, metrics.events_leave);
+    remove_members(driver, metrics, dead_members, metrics.events_leave);
   }
 
   void finalize() {
@@ -246,6 +277,7 @@ Metrics ScenarioRunner::run() {
   const OpOutcome formed = run.driver.form();
   run.metrics.form_success = formed.success;
   run.metrics.form_latency_us = formed.latency_us();
+  if (formed.success) run.metrics.op_latencies_us.all.push_back(formed.latency_us());
   if (!formed.success) {
     run.finalize();
     return run.metrics;
@@ -288,6 +320,139 @@ Metrics ScenarioRunner::run() {
   }
   run.finalize();
   return run.metrics;
+}
+
+// ------------------------------------------------------------- Multi-group
+
+namespace {
+
+/// One group of a multi-group run: owns everything the group's ProtocolRun
+/// body touches, so concurrent group bodies share only the executor.
+struct Group {
+  const MultiGroupConfig& cfg;
+  std::size_t index;
+  Metrics metrics;
+
+  gka::Authority authority;
+  ProtocolDriver driver;
+  std::optional<gka::GroupSession> flat;
+  std::optional<cluster::HierarchicalSession> hier;
+
+  Group(const MultiGroupConfig& config, std::size_t g, engine::Executor& executor)
+      : cfg(config),
+        index(g),
+        authority(config.profile, config.authority_seed(g)),
+        driver(executor, config.driver, config.driver_seed(g)) {
+    std::vector<std::uint32_t> ids(cfg.members_per_group);
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = map_id(static_cast<std::uint32_t>(i));
+    if (cfg.topology == Topology::kFlat) {
+      flat.emplace(authority, cfg.cluster.scheme, ids, cfg.session_seed(g));
+      driver.attach(*flat);
+    } else {
+      hier.emplace(authority, cfg.cluster, ids, cfg.session_seed(g));
+      driver.attach(*hier);
+    }
+    metrics.scenario = cfg.name + "/g" + std::to_string(g);
+    metrics.topology = cfg.topology == Topology::kFlat ? "flat" : "hierarchical";
+    metrics.seed = cfg.seed;
+    metrics.members_initial = cfg.members_per_group;
+  }
+
+  /// Offset in the template trace -> this group's id space.
+  [[nodiscard]] std::uint32_t map_id(std::uint32_t offset) const {
+    return cfg.group_base_id(index) + offset;
+  }
+
+  void apply_trace(const TraceEvent& event) {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(event.ids.size());
+    for (const std::uint32_t offset : event.ids) ids.push_back(map_id(offset));
+    // No extra admission filter: the multi-group runner has no batteries.
+    apply_trace_event(driver, metrics, event.kind, std::move(ids), nullptr);
+  }
+
+  /// The group's ProtocolRun body: form, then the (staggered) trace.
+  void script(engine::ProtocolRun& run) {
+    const SimTime t0 = static_cast<SimTime>(index) * cfg.stagger_us;
+    if (t0 > 0) run.sleep_until(t0);
+    const OpOutcome formed = driver.form();
+    metrics.form_success = formed.success;
+    metrics.form_latency_us = formed.latency_us();
+    if (formed.success) {
+      metrics.op_latencies_us.all.push_back(formed.latency_us());
+      for (const TraceEvent& event : cfg.trace) {
+        run.sleep_until(event.at_us + t0);
+        apply_trace(event);
+      }
+    }
+    finalize(run.now());
+  }
+
+  void finalize(SimTime now) {
+    metrics.members_final = driver.size();
+    metrics.clusters_final = driver.cluster_count();
+    metrics.all_members_agree = driver.agreed();
+    metrics.frames_on_air = driver.frames_on_air();
+    metrics.bits_on_air = driver.bits_on_air();
+    metrics.encoded_bits_on_air = driver.encoded_bits_on_air();
+    metrics.copies_dropped = driver.copies_dropped();
+    metrics.bits_dropped = driver.bits_dropped();
+    metrics.end_time_us = now;
+  }
+};
+
+}  // namespace
+
+MultiGroupRunner::MultiGroupRunner(MultiGroupConfig config) : cfg_(std::move(config)) {
+  if (cfg_.groups < 1) throw std::invalid_argument("MultiGroup: need at least 1 group");
+  if (cfg_.members_per_group < 2) {
+    throw std::invalid_argument("MultiGroup: need at least 2 members per group");
+  }
+  if (cfg_.id_stride <= cfg_.members_per_group) {
+    throw std::invalid_argument("MultiGroup: id_stride must exceed members_per_group");
+  }
+  if (cfg_.topology == Topology::kHierarchical) cfg_.cluster.validate();
+  std::stable_sort(cfg_.trace.begin(), cfg_.trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at_us < b.at_us; });
+  for (const TraceEvent& event : cfg_.trace) {
+    if (event.ids.empty()) throw std::invalid_argument("MultiGroup: trace event without ids");
+  }
+}
+
+MultiGroupMetrics MultiGroupRunner::run() {
+  // Same static-initialization hygiene as ScenarioRunner::run().
+  (void)ec::secp160r1();
+  (void)ec::p256();
+
+  const mpint::OpCounts ops_start = mpint::op_counts();
+  Scheduler scheduler;
+  engine::Executor executor(scheduler);
+
+  // Group construction (authorities, sessions) is serial and cheap next to
+  // the runs; bodies then only touch their own group + the executor.
+  std::vector<std::unique_ptr<Group>> groups;
+  groups.reserve(cfg_.groups);
+  for (std::size_t g = 0; g < cfg_.groups; ++g) {
+    groups.push_back(std::make_unique<Group>(cfg_, g, executor));
+  }
+  for (const auto& group : groups) {
+    executor.submit(group->metrics.scenario,
+                    [grp = group.get()](engine::ProtocolRun& run) { grp->script(run); });
+  }
+  executor.drain();
+
+  MultiGroupMetrics metrics;
+  metrics.scenario = cfg_.name;
+  metrics.seed = cfg_.seed;
+  metrics.per_group.reserve(groups.size());
+  for (const auto& group : groups) metrics.per_group.push_back(std::move(group->metrics));
+  metrics.engine_resumes = executor.resumes();
+  metrics.max_concurrent_runs = executor.max_batch();
+  metrics.end_time_us = scheduler.now();
+  const mpint::OpCounts ops_end = mpint::op_counts();
+  metrics.crypto_exps = ops_end.exps - ops_start.exps;
+  metrics.crypto_mod_muls = ops_end.mod_muls - ops_start.mod_muls;
+  return metrics;
 }
 
 }  // namespace idgka::sim

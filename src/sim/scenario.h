@@ -87,4 +87,70 @@ class ScenarioRunner {
   ScenarioConfig cfg_;
 };
 
+/// Multi-group scenario: M independent clusters — each with its own
+/// authority, session, timed driver and link RNG — run overlapping churn
+/// traces on ONE virtual clock. Every group is an engine::ProtocolRun on a
+/// shared Executor, so rounds of different groups interleave by
+/// virtual-time events (and execute in parallel across the worker pool
+/// when their wakes coincide). Results are deterministic under the seed
+/// for any IDGKA_THREADS value: each group owns all of its mutable state,
+/// and the shared clock orders wakes FIFO per timestamp.
+struct MultiGroupConfig {
+  std::string name = "multi";
+  std::size_t groups = 4;
+  Topology topology = Topology::kFlat;
+  gka::SecurityProfile profile = gka::SecurityProfile::kTiny;
+  std::size_t members_per_group = 8;
+  std::uint32_t base_id = 1000;
+  /// Id-space stride between groups: group g's members start at
+  /// base_id + g * id_stride. Must comfortably exceed members_per_group
+  /// plus any joiner offsets used in the trace.
+  std::uint32_t id_stride = 100'000;
+  std::uint64_t seed = 1;
+
+  DriverConfig driver;
+  /// Hierarchical sharding knobs; `cluster.scheme` also selects the flat
+  /// scheme. Leave `cluster.loss_rate` at 0 — the link model owns loss.
+  cluster::ClusterConfig cluster;
+
+  /// Template churn trace every group runs in its own id space: event ids
+  /// are OFFSETS (offset < members_per_group names an initial member;
+  /// larger offsets name joiners), mapped to base_id + g*id_stride +
+  /// offset for group g. Sorted by at_us internally (stable).
+  std::vector<TraceEvent> trace;
+  /// Group g starts (forms and fires its trace) shifted by g * stagger_us
+  /// — overlapping rather than identical schedules across groups.
+  SimTime stagger_us = 0;
+
+  // --- Per-group derivations (single source of truth; the concurrency
+  // --- bench replays these to build its sequential baseline, so the two
+  // --- legs run identical RNG streams) ---
+  /// Distinct authority parameters/credentials per group.
+  [[nodiscard]] std::uint64_t authority_seed(std::size_t g) const {
+    return seed + 0x9e3779b97f4a7c15ULL * (g + 1);
+  }
+  /// Link-model RNG stream of group g's driver.
+  [[nodiscard]] std::uint64_t driver_seed(std::size_t g) const {
+    return seed ^ (0x6d67727670ULL + g);
+  }
+  /// Member-DRBG seed of group g's session.
+  [[nodiscard]] std::uint64_t session_seed(std::size_t g) const { return seed + g; }
+  /// First member id of group g's id space.
+  [[nodiscard]] std::uint32_t group_base_id(std::size_t g) const {
+    return base_id + static_cast<std::uint32_t>(g) * id_stride;
+  }
+};
+
+class MultiGroupRunner {
+ public:
+  explicit MultiGroupRunner(MultiGroupConfig config);
+
+  /// Executes all groups to completion on one clock and returns per-group
+  /// + aggregate metrics.
+  [[nodiscard]] MultiGroupMetrics run();
+
+ private:
+  MultiGroupConfig cfg_;
+};
+
 }  // namespace idgka::sim

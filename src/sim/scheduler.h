@@ -5,15 +5,18 @@
 // number breaks ties), so a whole simulation is a pure function of its
 // seeds — the determinism the scenario metrics tests rely on.
 //
-// The protocol layer runs synchronously; time advances *inside* a protocol
-// call through Network round barriers that invoke run_until(). Event
-// callbacks themselves must therefore never re-enter the protocol layer —
-// in this codebase they only ever deposit in-flight message copies.
+// Protocol execution is hosted on engine::ProtocolRun threads whose wake
+// timers are ordinary events in this queue; the engine relies on the FIFO
+// tie-break for determinism (pinned by the Scheduler regression tests).
+// Event callbacks must never re-enter the protocol layer — in this
+// codebase they only ever deposit in-flight message copies and mark runs
+// runnable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <utility>
 
 namespace idgka::sim {
@@ -42,6 +45,13 @@ class Scheduler {
   SimTime run_all();
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Timestamp of the earliest pending event, or nullopt when idle. The
+  /// engine's main loop advances the clock one occupied timestamp at a
+  /// time with run_until(*next_event_time()).
+  [[nodiscard]] std::optional<SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.begin()->first.first;
+  }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:

@@ -1,0 +1,345 @@
+// Event-driven protocol engine tests: RoundTask state machine, Executor
+// run multiplexing (timer + frame-arrival resumption, determinism across
+// worker counts), the engine-hosted driver, and the multi-group scenario
+// runner (M concurrent clusters on one clock).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/round_task.h"
+#include "gka/exchange.h"
+#include "gka/session.h"
+#include "sim/driver.h"
+#include "sim/scenario.h"
+
+namespace idgka {
+namespace {
+
+using engine::Executor;
+using engine::ProtocolRun;
+using engine::RoundTask;
+
+net::Message msg_from(std::uint32_t sender, const char* type = "round") {
+  net::Message m;
+  m.sender = sender;
+  m.type = type;
+  m.payload.put_u32("id", sender);
+  m.declared_bits = 64;
+  return m;
+}
+
+std::vector<std::uint32_t> add_nodes(net::Network& net, std::size_t n) {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    net.add_node(i);
+    ids.push_back(i);
+  }
+  return ids;
+}
+
+// ----------------------------------------------------------------- RoundTask
+
+TEST(RoundTask, LosslessRoundWalksTransmitAwaitDone) {
+  net::Network net;
+  const auto ids = add_nodes(net, 4);
+  std::vector<engine::RoundSend> sends;
+  for (const auto id : ids) sends.push_back({msg_from(id), ids});
+
+  RoundTask task(net, sends, ids, /*retries=*/4);
+  ASSERT_EQ(task.state(), RoundTask::State::kTransmit);
+  ASSERT_EQ(task.step(), RoundTask::State::kAwait);  // everything on the air
+  EXPECT_EQ(task.attempts(), 1);
+  // Lockstep network: delivery already happened; draining completes.
+  ASSERT_EQ(task.step(), RoundTask::State::kDone);
+  EXPECT_TRUE(task.done());
+
+  const engine::RoundResult result = task.take_result();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.retransmissions, 0);
+  for (const auto rx : ids) EXPECT_EQ(result.collected.at(rx).size(), 3U);
+}
+
+TEST(RoundTask, NothingToSendCompletesImmediately) {
+  net::Network net;
+  const auto ids = add_nodes(net, 2);
+  const std::vector<engine::RoundSend> sends;  // empty round
+  RoundTask task(net, sends, ids, 4);
+  EXPECT_EQ(task.step(), RoundTask::State::kDone);
+  EXPECT_TRUE(task.take_result().complete);
+}
+
+TEST(RoundTask, LossWalksThroughRetransmitState) {
+  net::Network net(/*loss_rate=*/0.4, /*seed=*/7);
+  const auto ids = add_nodes(net, 5);
+  std::vector<engine::RoundSend> sends;
+  for (const auto id : ids) sends.push_back({msg_from(id), ids});
+
+  RoundTask task(net, sends, ids, /*retries=*/64);
+  bool saw_retransmit = false;
+  int steps = 0;
+  while (!task.done()) {
+    const RoundTask::State state = task.step();
+    saw_retransmit = saw_retransmit || state == RoundTask::State::kRetransmit;
+    ASSERT_LT(++steps, 1000);
+  }
+  EXPECT_TRUE(saw_retransmit);
+  const engine::RoundResult result = task.take_result();
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.retransmissions, 0);
+  EXPECT_GT(task.attempts(), 1);
+}
+
+TEST(RoundTask, ShimMatchesDirectStateMachine) {
+  // gka::exchange_round is a shim over RoundTask: identically-seeded
+  // networks must yield identical collections and retransmission counts.
+  auto run_direct = [] {
+    net::Network net(0.3, 11);
+    const auto ids = add_nodes(net, 4);
+    std::vector<engine::RoundSend> sends;
+    for (const auto id : ids) sends.push_back({msg_from(id), ids});
+    RoundTask task(net, sends, ids, 64);
+    while (!task.done()) task.step();
+    return task.take_result();
+  };
+  auto run_shim = [] {
+    net::Network net(0.3, 11);
+    const auto ids = add_nodes(net, 4);
+    std::vector<gka::RoundSend> sends;
+    for (const auto id : ids) sends.push_back({msg_from(id), ids});
+    return gka::exchange_round(net, sends, ids);
+  };
+  const engine::RoundResult a = run_direct();
+  const gka::RoundResult b = run_shim();
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  ASSERT_EQ(a.collected.size(), b.collected.size());
+  for (const auto& [rx, by_sender] : a.collected) {
+    ASSERT_TRUE(b.collected.contains(rx));
+    EXPECT_EQ(by_sender.size(), b.collected.at(rx).size());
+  }
+}
+
+// ------------------------------------------------------------------ Executor
+
+TEST(Executor, RunsResumeInVirtualTimeOrder) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  std::mutex record_mutex;
+  std::vector<std::pair<int, sim::SimTime>> wakes;
+
+  // Distinct wake timestamps: cross-run order within one timestamp is a
+  // parallel batch and deliberately unordered.
+  for (int i = 0; i < 3; ++i) {
+    executor.submit("run" + std::to_string(i), [&, i](ProtocolRun& run) {
+      run.sleep_until(100 * (i + 1));
+      {
+        const std::lock_guard<std::mutex> lock(record_mutex);
+        wakes.emplace_back(i, run.now());
+      }
+      run.sleep_until(1000 - 100 * i);
+      const std::lock_guard<std::mutex> lock(record_mutex);
+      wakes.emplace_back(i, run.now());
+    });
+  }
+  executor.drain();
+
+  ASSERT_EQ(wakes.size(), 6U);
+  const std::vector<std::pair<int, sim::SimTime>> expected{
+      {0, 100}, {1, 200}, {2, 300}, {2, 800}, {1, 900}, {0, 1000}};
+  EXPECT_EQ(wakes, expected);
+  EXPECT_EQ(scheduler.now(), 1000U);
+  EXPECT_EQ(executor.resumes(), 9U);  // 3 starts + 6 timer wakes
+}
+
+TEST(Executor, SameInstantRunsResumeAsOneBatch) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  for (int i = 0; i < 4; ++i) {
+    executor.submit("batch", [](ProtocolRun& run) { run.sleep_until(500); });
+  }
+  executor.drain();
+  // All four submitted runs start together, then wake together at t=500.
+  EXPECT_EQ(executor.max_batch(), 4U);
+  EXPECT_EQ(executor.run_count(), 4U);
+}
+
+TEST(Executor, PostedEventsLandBeforeTimerWake) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  std::vector<int> order;
+  executor.submit("waiter", [&](ProtocolRun& run) {
+    executor.post(50, [&] { order.push_back(1); }, nullptr);
+    run.sleep_until(100);
+    order.push_back(2);
+  });
+  executor.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Executor, ArrivalSensitiveAwaitResumesWhenChannelQuiet) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  sim::SimTime resumed_at = 0;
+  executor.submit("arrival", [&](ProtocolRun& run) {
+    // Two in-flight "copies"; the await must resume at the later arrival
+    // (t=70), not at the full timeout (t=10'000).
+    executor.post(30, [] {}, ProtocolRun::current());
+    executor.post(70, [] {}, ProtocolRun::current());
+    run.await_round(10'000, /*resume_on_arrival=*/true);
+    resumed_at = run.now();
+  });
+  executor.drain();
+  EXPECT_EQ(resumed_at, 70U);
+  EXPECT_EQ(scheduler.now(), 70U);
+
+  // Quiet channel: an arrival-sensitive await with nothing in flight
+  // returns immediately without burning the timeout.
+  sim::SimTime quiet_at = 123;
+  executor.submit("quiet", [&](ProtocolRun& run) {
+    run.await_round(10'000, /*resume_on_arrival=*/true);
+    quiet_at = run.now();
+  });
+  executor.drain();
+  EXPECT_EQ(quiet_at, 70U);  // unchanged clock
+}
+
+TEST(Executor, TimerOnlyAwaitBurnsFullTimeout) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  sim::SimTime resumed_at = 0;
+  executor.submit("timer", [&](ProtocolRun& run) {
+    executor.post(30, [] {}, ProtocolRun::current());
+    run.await_round(10'000, /*resume_on_arrival=*/false);
+    resumed_at = run.now();
+  });
+  executor.drain();
+  EXPECT_EQ(resumed_at, 10'000U);
+}
+
+TEST(Executor, RunBodyExceptionPropagatesFromDrain) {
+  sim::Scheduler scheduler;
+  Executor executor(scheduler);
+  executor.submit("ok", [](ProtocolRun& run) { run.sleep_until(10); });
+  executor.submit("boom", [](ProtocolRun&) { throw std::domain_error("boom"); });
+  EXPECT_THROW(executor.drain(), std::domain_error);
+  // The sibling run still settled before the rethrow.
+  EXPECT_EQ(scheduler.now(), 10U);
+}
+
+// --------------------------------------------- Engine-hosted timed driver
+
+TEST(EngineDriver, ResumeOnArrivalShortensLatencyNotOutcomes) {
+  gka::Authority authority(gka::SecurityProfile::kTiny, 2024);
+  const std::vector<std::uint32_t> ids{1, 2, 3, 4, 5, 6};
+
+  auto run_form = [&](bool arrival) {
+    sim::Scheduler scheduler;
+    sim::DriverConfig cfg;
+    cfg.resume_on_arrival = arrival;
+    sim::ProtocolDriver driver(scheduler, cfg, 5);
+    gka::GroupSession session(authority, gka::Scheme::kProposed, ids, 42);
+    driver.attach(session);
+    return driver.form();
+  };
+
+  const sim::OpOutcome timer_mode = run_form(false);
+  const sim::OpOutcome arrival_mode = run_form(true);
+  ASSERT_TRUE(timer_mode.success);
+  ASSERT_TRUE(arrival_mode.success);
+  // Same protocol evolution (loss decided at transmit time)...
+  EXPECT_EQ(arrival_mode.rounds, timer_mode.rounds);
+  EXPECT_EQ(arrival_mode.retransmissions, timer_mode.retransmissions);
+  // ...but arrival-true latency instead of timeout-quantized.
+  EXPECT_LT(arrival_mode.latency_us(), timer_mode.latency_us());
+  EXPECT_GT(arrival_mode.latency_us(), 0U);
+
+  // Deterministic: a repeat lands on the identical latency.
+  EXPECT_EQ(run_form(true).latency_us(), arrival_mode.latency_us());
+}
+
+// ------------------------------------------------------------- Multi-group
+
+sim::MultiGroupConfig small_multi() {
+  sim::MultiGroupConfig cfg;
+  cfg.name = "engine_multi";
+  cfg.groups = 3;
+  cfg.topology = sim::Topology::kFlat;
+  cfg.members_per_group = 6;
+  cfg.seed = 99;
+  cfg.stagger_us = 15'000;  // overlapping, not identical, schedules
+  // Offsets: 0..5 initial members, >= 6 joiners.
+  cfg.trace = {
+      {sim::SimTime{200'000}, sim::TraceEvent::Kind::kJoin, {6}},
+      {sim::SimTime{400'000}, sim::TraceEvent::Kind::kLeave, {1}},
+      {sim::SimTime{600'000}, sim::TraceEvent::Kind::kPartition, {2, 3}},
+      {sim::SimTime{800'000}, sim::TraceEvent::Kind::kMerge, {2, 3}},
+  };
+  return cfg;
+}
+
+TEST(MultiGroup, ConcurrentGroupsConvergeAndInterleave) {
+  const sim::MultiGroupConfig cfg = small_multi();
+  const sim::MultiGroupMetrics metrics = sim::MultiGroupRunner(cfg).run();
+
+  ASSERT_EQ(metrics.per_group.size(), 3U);
+  for (const sim::Metrics& g : metrics.per_group) {
+    EXPECT_TRUE(g.form_success) << g.scenario;
+    EXPECT_TRUE(g.all_members_agree) << g.scenario;
+    EXPECT_EQ(g.rekeys_attempted, 4U) << g.scenario;
+    EXPECT_EQ(g.rekeys_completed, 4U) << g.scenario;
+    EXPECT_EQ(g.members_final, 6U) << g.scenario;  // 6 +1 -1 -2 +2
+  }
+  EXPECT_TRUE(metrics.all_groups_agree());
+  EXPECT_EQ(metrics.rekeys_attempted(), 12U);
+  EXPECT_DOUBLE_EQ(metrics.convergence(), 1.0);
+  // All three groups submitted together -> the first batch is 3 wide:
+  // independent protocol runs genuinely interleaved on one clock.
+  EXPECT_GE(metrics.max_concurrent_runs, 3U);
+  EXPECT_GT(metrics.engine_resumes, 3U);
+  EXPECT_GT(metrics.crypto_exps, 0U);
+}
+
+TEST(MultiGroup, SameSeedBitIdenticalJson) {
+  const sim::MultiGroupConfig cfg = small_multi();
+  const std::string first = sim::MultiGroupRunner(cfg).run().to_json();
+  const std::string second = sim::MultiGroupRunner(cfg).run().to_json();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(MultiGroup, DifferentSeedsDiverge) {
+  sim::MultiGroupConfig cfg = small_multi();
+  const std::string a = sim::MultiGroupRunner(cfg).run().to_json();
+  cfg.seed = 100;
+  const std::string b = sim::MultiGroupRunner(cfg).run().to_json();
+  EXPECT_NE(a, b);
+}
+
+TEST(MultiGroup, HierarchicalGroupsRunConcurrently) {
+  sim::MultiGroupConfig cfg;
+  cfg.name = "engine_multi_hier";
+  cfg.groups = 2;
+  cfg.topology = sim::Topology::kHierarchical;
+  cfg.members_per_group = 12;
+  cfg.cluster.min_cluster = 3;
+  cfg.cluster.max_cluster = 6;
+  cfg.seed = 7;
+  cfg.trace = {
+      {sim::SimTime{300'000}, sim::TraceEvent::Kind::kJoin, {12}},
+      {sim::SimTime{500'000}, sim::TraceEvent::Kind::kLeave, {2}},
+  };
+  const sim::MultiGroupMetrics metrics = sim::MultiGroupRunner(cfg).run();
+  ASSERT_EQ(metrics.per_group.size(), 2U);
+  for (const sim::Metrics& g : metrics.per_group) {
+    EXPECT_TRUE(g.form_success) << g.scenario;
+    EXPECT_TRUE(g.all_members_agree) << g.scenario;
+    EXPECT_GT(g.clusters_final, 1U) << g.scenario;
+  }
+  EXPECT_GE(metrics.max_concurrent_runs, 2U);
+}
+
+}  // namespace
+}  // namespace idgka

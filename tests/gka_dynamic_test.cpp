@@ -304,5 +304,34 @@ TEST(BaselineDynamics, MergeByReExecution) {
   EXPECT_EQ(a.key(), oracle_key(a));
 }
 
+// Regression: move-construction and move-assignment are both defined (the
+// authority is held by pointer so assignment can rebind it) and a session
+// survives a full move round-trip with its ring state and liveness intact.
+TEST(Session, MoveRoundTripPreservesRingState) {
+  GroupSession original(test_authority(), Scheme::kProposed, make_ids(4, 900), 91);
+  ASSERT_TRUE(original.form().success);
+  const BigInt key = original.key();
+  const auto ids = original.member_ids();
+
+  GroupSession moved(std::move(original));  // move-construct
+  EXPECT_EQ(moved.key(), key);
+  EXPECT_EQ(moved.member_ids(), ids);
+  EXPECT_EQ(&moved.authority(), &test_authority());
+
+  GroupSession target(test_authority(), Scheme::kProposed, make_ids(3, 950), 92);
+  target = std::move(moved);  // move-assign over a live session
+  EXPECT_EQ(target.key(), key);
+  EXPECT_EQ(target.member_ids(), ids);
+  expect_consistent(target, "after move round-trip");
+
+  // The moved-to session is fully operational: run a membership event and
+  // land on the BD oracle key for the new ring.
+  ASSERT_TRUE(target.join(980).success);
+  EXPECT_EQ(target.size(), 5U);
+  EXPECT_EQ(target.key(), oracle_key(target));
+  ASSERT_TRUE(target.leave(901).success);
+  EXPECT_EQ(target.key(), oracle_key(target));
+}
+
 }  // namespace
 }  // namespace idgka::gka

@@ -42,6 +42,48 @@ TEST(Scheduler, EventsMayScheduleWithinTheWindow) {
   EXPECT_EQ(sched.now(), 100U);
 }
 
+// Regression pin: equal-timestamp events run strictly in insertion (FIFO)
+// order, including events inserted *while* the timestamp is being drained
+// (they append after every already-queued event at that time) and events
+// scheduled into the past (clamped to now, still FIFO). The engine
+// executor's determinism — run wake-ups are ordinary scheduler events —
+// depends on exactly this ordering.
+TEST(Scheduler, SameTimestampEventsAreFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  constexpr int kEvents = 32;
+  for (int i = 0; i < kEvents; ++i) {
+    sched.at(700, [&order, i] { order.push_back(i); });
+  }
+  // A same-timestamp cascade scheduled by the FIRST event must run after
+  // every pre-queued 700-stamped event, in its own insertion order.
+  sched.at(700, [&] {
+    sched.at(700, [&] { order.push_back(1000); });
+    sched.at(500, [&] { order.push_back(1001); });  // past: clamps to 700
+  });
+  sched.run_until(700);
+
+  // The 32 pre-queued events run 0..31; the cascade parent (queued after
+  // them) then fires and its children append FIFO behind everything.
+  std::vector<int> expected;
+  for (int i = 0; i < kEvents; ++i) expected.push_back(i);
+  expected.push_back(1000);
+  expected.push_back(1001);
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sched.next_event_time(), std::nullopt);
+}
+
+TEST(Scheduler, NextEventTimeReportsEarliestPending) {
+  Scheduler sched;
+  EXPECT_EQ(sched.next_event_time(), std::nullopt);
+  sched.at(300, [] {});
+  sched.at(100, [] {});
+  ASSERT_TRUE(sched.next_event_time().has_value());
+  EXPECT_EQ(*sched.next_event_time(), 100U);
+  sched.run_until(100);
+  EXPECT_EQ(*sched.next_event_time(), 300U);
+}
+
 TEST(Scheduler, PastTimesClampToNow) {
   Scheduler sched;
   sched.run_until(50);
@@ -141,6 +183,28 @@ TEST(Metrics, NearestRankPercentiles) {
   EXPECT_EQ(percentile_us(sample, 90.0), 40U);
   EXPECT_EQ(percentile_us(sample, 100.0), 40U);
   EXPECT_EQ(percentile_us({}, 50.0), 0U);
+}
+
+TEST(Metrics, JsonCarriesPerOperationLatencyPercentiles) {
+  Metrics metrics;
+  metrics.op_latencies_us.all = {400, 100, 300, 200};
+  metrics.op_latencies_us.join = {100, 300};
+  metrics.op_latencies_us.leave = {200};
+  const std::string json = metrics.to_json();
+  // Overall percentiles live directly under `latency`, alongside the
+  // existing start/end-derived blocks (form latency, latency_us).
+  EXPECT_NE(json.find("\"latency\":{\"count\":4,\"p50_us\":200,\"p99_us\":400"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"join\":{\"count\":2,\"p50_us\":100,\"p99_us\":300}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"leave\":{\"count\":1,\"p50_us\":200,\"p99_us\":200}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"partition\":{\"count\":0,\"p50_us\":0,\"p99_us\":0}"),
+            std::string::npos)
+      << json;
 }
 
 // ----------------------------------------------------- Timed flat sessions
@@ -266,6 +330,16 @@ TEST(Scenario, SameSeedSameTraceBitIdenticalJson) {
   EXPECT_EQ(first.rekeys_completed, 5U);
   EXPECT_TRUE(first.all_members_agree);
   EXPECT_EQ(first.members_final, 17U);  // 16 + 2 joins - 1 leave - 3 + 3 re-admitted
+
+  // Per-operation latency percentiles are part of the deterministic JSON:
+  // every completed op (form + 5 rekeys) is sampled, split by kind.
+  EXPECT_EQ(first.op_latencies_us.all.size(), 6U);
+  EXPECT_EQ(first.op_latencies_us.join.size(), 2U);
+  EXPECT_EQ(first.op_latencies_us.leave.size(), 1U);
+  EXPECT_EQ(first.op_latencies_us.partition.size(), 1U);
+  EXPECT_EQ(first.op_latencies_us.merge.size(), 1U);
+  EXPECT_GT(percentile_us(first.op_latencies_us.all, 50.0), 0U);
+  EXPECT_NE(first.to_json().find("\"latency\":{\"count\":6,"), std::string::npos);
 }
 
 TEST(Scenario, DifferentSeedDivergesEventually) {
