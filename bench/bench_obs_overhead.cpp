@@ -1,0 +1,202 @@
+// Observability overhead: what do the OBS_* macro sites cost?
+//
+// Runs the n=256 hierarchical churn scenario (the bench_sim_scale workload)
+// in two legs:
+//
+//   * runtime_off  — instrumentation compiled in, tracing disabled: every
+//     site pays one relaxed load + branch (plus the registry counters);
+//   * full_trace   — tracing enabled, virtual-clock spans from every layer;
+//     the exported Chrome trace is written to obs_trace.json.
+//
+// The same source also builds under -DIDGKA_OBS=0 (the compiled-out build),
+// where it emits a single `compiled_out` leg. Passing
+// `--baseline <BENCH_obs.json from that build>` to the normal binary gates
+// the contract: runtime-off wall time must stay within 2% of compiled-out
+// (min-of-N on both sides; exits non-zero past the gate).
+//
+// Results go to BENCH_obs.json (a CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/json_writer.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/scenario.h"
+
+using namespace idgka;
+using namespace idgka::bench;
+
+namespace {
+
+constexpr std::size_t kMembers = 256;
+constexpr int kRepeats = 5;
+constexpr double kGatePct = 2.0;
+
+sim::ScenarioConfig make_config() {
+  sim::ScenarioConfig cfg;
+  cfg.name = "obs_overhead_n" + std::to_string(kMembers);
+  cfg.topology = sim::Topology::kHierarchical;
+  cfg.initial_members = kMembers;
+  cfg.base_id = 10'000;
+  cfg.seed = 424242;
+  cfg.duration_us = 600 * sim::kUsPerSec;
+  cfg.driver.link = sim::LinkConfig::bursty(0.05);
+  cfg.cluster.min_cluster = 8;
+  cfg.cluster.max_cluster = 24;
+
+  std::uint32_t next_id = 90'000;
+  sim::SimTime t = 20 * sim::kUsPerSec;
+  for (int i = 0; i < 4; ++i) {
+    cfg.trace.push_back({t, sim::TraceEvent::Kind::kJoin, {next_id++}});
+    t += 20 * sim::kUsPerSec;
+    cfg.trace.push_back(
+        {t, sim::TraceEvent::Kind::kLeave, {cfg.base_id + 1 + static_cast<std::uint32_t>(i)}});
+    t += 20 * sim::kUsPerSec;
+  }
+  const std::vector<std::uint32_t> squad{cfg.base_id + 20, cfg.base_id + 21, cfg.base_id + 22,
+                                         cfg.base_id + 23};
+  cfg.trace.push_back({t, sim::TraceEvent::Kind::kPartition, squad});
+  t += 40 * sim::kUsPerSec;
+  cfg.trace.push_back({t, sim::TraceEvent::Kind::kMerge, squad});
+  return cfg;
+}
+
+struct Leg {
+  std::string name;
+  std::vector<double> wall_ms;
+  [[nodiscard]] double min_ms() const {
+    double best = wall_ms.front();
+    for (const double w : wall_ms) best = best < w ? best : w;
+    return best;
+  }
+};
+
+Leg run_leg(const char* name) {
+  const sim::ScenarioConfig cfg = make_config();
+  Leg leg;
+  leg.name = name;
+  // One untimed warm-up absorbs lazy static init (named curves, allocator
+  // growth) so the first timed run doesn't bias the leg that runs first.
+  (void)sim::ScenarioRunner(cfg).run();
+  for (int i = 0; i < kRepeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::Metrics metrics = sim::ScenarioRunner(cfg).run();
+    leg.wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count());
+    if (!metrics.form_success || !metrics.all_members_agree) {
+      std::fprintf(stderr, "FAILED: scenario did not converge in leg %s\n", name);
+      std::exit(1);
+    }
+  }
+  std::printf("  %-12s min %8.1f ms over %d runs\n", leg.name.c_str(), leg.min_ms(),
+              kRepeats);
+  return leg;
+}
+
+/// Minimal extraction of `"<leg>"` ... `"wall_ms_min":<double>` from a
+/// BENCH_obs.json written by this program (any build).
+double baseline_min_ms(const std::string& path, const char* leg) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAILED: cannot read baseline %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::size_t at = text.find(std::string("\"name\":\"") + leg + '"');
+  const std::size_t key = at == std::string::npos ? at : text.find("\"wall_ms_min\":", at);
+  if (key == std::string::npos) {
+    std::fprintf(stderr, "FAILED: baseline %s has no %s leg\n", path.c_str(), leg);
+    std::exit(1);
+  }
+  return std::strtod(text.c_str() + key + std::strlen("\"wall_ms_min\":"), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  std::printf("=== Observability overhead: n=%zu churn scenario, min of %d ===\n", kMembers,
+              kRepeats);
+
+  std::vector<Leg> legs;
+#if IDGKA_OBS
+  obs::set_trace_enabled(false);
+  legs.push_back(run_leg("runtime_off"));
+
+  obs::clear();
+  obs::set_trace_enabled(true);
+  legs.push_back(run_leg("full_trace"));
+  obs::set_trace_enabled(false);
+  if (obs::export_chrome_trace_file("obs_trace.json")) {
+    std::printf("  wrote obs_trace.json (last run's flight recorder)\n");
+  }
+  obs::clear();
+#else
+  legs.push_back(run_leg("compiled_out"));
+#endif
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "obs_overhead");
+#if IDGKA_OBS
+  w.kv("mode", "full");
+#else
+  w.kv("mode", "compiled-out");
+#endif
+  w.kv("n", kMembers);
+  w.key("legs").begin_array();
+  for (const Leg& leg : legs) {
+    w.begin_object();
+    w.kv("name", leg.name);
+    w.kv("wall_ms_min", leg.min_ms());
+    w.key("wall_ms_runs").begin_array();
+    for (const double ms : leg.wall_ms) w.value(ms);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  int rc = 0;
+#if IDGKA_OBS
+  if (!baseline_path.empty()) {
+    const double off_ms = legs.front().min_ms();
+    const double base_ms = baseline_min_ms(baseline_path, "compiled_out");
+    const double overhead_pct = (off_ms - base_ms) / base_ms * 100.0;
+    std::printf("  runtime-off vs compiled-out: %.1f ms vs %.1f ms (%+.2f%%, gate %.1f%%)\n",
+                off_ms, base_ms, overhead_pct, kGatePct);
+    w.key("baseline").begin_object();
+    w.kv("wall_ms_min", base_ms);
+    w.kv("overhead_pct", overhead_pct);
+    w.kv("gate_pct", kGatePct);
+    w.end_object();
+    if (overhead_pct > kGatePct) {
+      std::fprintf(stderr, "FAILED: runtime-off overhead %.2f%% exceeds %.1f%% gate\n",
+                   overhead_pct, kGatePct);
+      rc = 1;
+    }
+  }
+#else
+  (void)baseline_path;
+#endif
+  w.end_object();
+
+  std::ofstream out("BENCH_obs.json");
+  out << w.take() << '\n';
+  std::printf("wrote BENCH_obs.json (%zu legs)\n", legs.size());
+  return rc;
+}

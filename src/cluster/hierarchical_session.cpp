@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
 #include "symc/kdf.h"
 #include "symc/sealed_box.h"
 
@@ -51,6 +52,7 @@ HierarchicalSession::HierarchicalSession(gka::Authority& authority, ClusterConfi
 }
 
 EventSummary HierarchicalSession::form() {
+  OBS_SPAN_ARG("cluster.form", "cluster", clusters_.size());
   EventSummary summary;
   for (auto& cluster : clusters_) {
     if (!cluster->form().success) return summary;  // success stays false
@@ -96,6 +98,7 @@ EventSummary HierarchicalSession::flush() {
   summary.epoch = epoch_;
   const std::vector<Event> events = queue_.drain();
   if (events.empty()) return summary;
+  OBS_SPAN_ARG("cluster.flush", "cluster", events.size());
   if (group_key_.is_zero()) throw std::logic_error("HierarchicalSession: flush before form()");
 
   std::vector<std::uint32_t> joins;
@@ -127,6 +130,7 @@ EventSummary HierarchicalSession::flush() {
 }
 
 EventSummary HierarchicalSession::merge(HierarchicalSession& other) {
+  OBS_SPAN_ARG("cluster.merge", "cluster", other.size());
   if (&other == this) throw std::invalid_argument("merge: cannot merge with self");
   if (&other.authority_ != &authority_ || other.config_.scheme != config_.scheme) {
     throw std::invalid_argument("merge: sessions must share authority and scheme");
@@ -353,6 +357,8 @@ void HierarchicalSession::retire_ledgers(const gka::GroupSession& session) {
 
 void HierarchicalSession::rekey_and_distribute() {
   ++epoch_;
+  OBS_SPAN_ARG("cluster.rekey", "cluster", epoch_);
+  OBS_COUNT("cluster.rekeys", 1);
   const BigInt& tier_key = head_tier_ ? head_tier_->key() : clusters_.front()->key();
   const std::string label = "idgka-cluster-v1|epoch|" + std::to_string(epoch_);
   const auto key_bytes = symc::derive_key(tier_key, label);
@@ -411,6 +417,8 @@ void HierarchicalSession::rekey_and_distribute() {
     // retry cap overrides the built-in bound (see effective_retry_cap).
     const int retries = network.effective_retry_cap(kMaxRekeyRetransmits);
     for (int attempt = 0; attempt < retries && !missing.empty(); ++attempt) {
+      OBS_COUNT("cluster.rekey_retries", 1);
+      OBS_INSTANT_ARG("cluster.rekey_retry", "cluster", missing.size());
       for (const std::uint32_t id : missing) {
         net::Message retry = msg;
         retry.recipient = id;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/parallel.h"
+#include "obs/trace.h"
 
 namespace idgka::engine {
 
@@ -38,12 +39,25 @@ void ProtocolRun::thread_main() {
   lock.unlock();
 
   t_current_run = this;
-  try {
-    body_(*this);
-  } catch (const RunAborted&) {
-    // Executor teardown unwound the body; nothing to record.
-  } catch (...) {
-    error_ = std::current_exception();
+#if IDGKA_OBS
+  // Deterministic export track: run ids are assigned in submission order,
+  // so the track name — unlike the OS thread id or the ring registration
+  // order — is a pure function of the workload.
+  if (obs::trace_enabled()) {
+    obs::set_thread_track(name_ + "#" + std::to_string(id_));
+  }
+#endif
+  {
+    // Scoped so the span's end event is emitted while this run still has
+    // the floor (before the host thread can resume and advance the clock).
+    OBS_SPAN("engine.run", "engine");
+    try {
+      body_(*this);
+    } catch (const RunAborted&) {
+      // Executor teardown unwound the body; nothing to record.
+    } catch (...) {
+      error_ = std::current_exception();
+    }
   }
   t_current_run = nullptr;
   body_ = nullptr;  // release captured state promptly
@@ -55,12 +69,17 @@ void ProtocolRun::thread_main() {
 }
 
 void ProtocolRun::park(std::unique_lock<std::mutex>& lock) {
+  // Emitted before the handoff (and the resume instant after it): both
+  // land while this run has the floor, so their virtual timestamps are
+  // deterministic.
+  OBS_INSTANT("engine.park", "engine");
   state_ = State::kWaiting;
   go_ = false;
   exec_.host_cv_.notify_all();
   cv_.wait(lock, [this] { return go_ || exec_.shutdown_; });
   if (exec_.shutdown_) throw RunAborted{};
   state_ = State::kRunning;
+  OBS_INSTANT("engine.resume", "engine");
 }
 
 sim::SimTime ProtocolRun::now() const { return exec_.now(); }
@@ -156,6 +175,18 @@ void Executor::drain() {
       for (ProtocolRun* run : batch) run->queued_ = false;
       max_batch_ = std::max(max_batch_, batch.size());
       resumes_ += batch.size();
+      // Mirror the engine bookkeeping into the process-wide registry (same
+      // semantics as resumes()/max_batch(), summed over all executors).
+      OBS_COUNT("engine.resumes", batch.size());
+      OBS_COUNT("engine.batches", 1);
+#if IDGKA_OBS
+      {
+        static obs::Gauge& max_batch_gauge =
+            obs::Registry::global().gauge("engine.max_batch");
+        max_batch_gauge.max_of(static_cast<std::int64_t>(batch.size()));
+      }
+#endif
+      OBS_INSTANT_ARG("engine.batch", "engine", batch.size());
       lock.unlock();
       // The whole same-instant batch resumes across the worker pool; with
       // IDGKA_THREADS=1 this degenerates to strictly sequential resumption

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace idgka::engine {
 
 RoundTask::RoundTask(net::Network& network, const std::vector<RoundSend>& sends,
@@ -19,6 +21,27 @@ RoundTask::RoundTask(net::Network& network, const std::vector<RoundSend>& sends,
   for (const RoundSend& send : sends_) {
     round_label_.emplace(send.message.sender, &send.message.type);
   }
+  OBS_COUNT("engine.rounds", 1);
+#if IDGKA_OBS
+  // Round span: kBegin here, kEnd when the machine reaches kDone (or from
+  // the destructor when an exception unwinds the round mid-flight).
+  if (obs::trace_enabled()) {
+    span_open_ = true;
+    obs::emit(obs::Phase::kBegin, "gka.round", "gka",
+              static_cast<std::uint64_t>(sends_.size()));
+  }
+#endif
+}
+
+RoundTask::~RoundTask() { close_span(); }
+
+void RoundTask::close_span() {
+#if IDGKA_OBS
+  if (span_open_) {
+    span_open_ = false;
+    obs::emit(obs::Phase::kEnd, "gka.round", "gka");
+  }
+#endif
 }
 
 bool RoundTask::on_label(const net::Message& msg) const {
@@ -48,7 +71,10 @@ bool RoundTask::transmit_missing() {
   for (const RoundSend& send : sends_) {
     if (!missing_somewhere(send)) continue;
     sent_any = true;
-    if (attempt_ > 0) ++result_.retransmissions;
+    if (attempt_ > 0) {
+      ++result_.retransmissions;
+      OBS_COUNT("engine.retransmissions", 1);
+    }
     if (send.message.recipient.has_value()) {
       network_.unicast(send.message);
     } else {
@@ -75,9 +101,11 @@ RoundTask::State RoundTask::step() {
       if (!transmit_missing()) {
         result_.complete = true;
         state_ = State::kDone;
+        close_span();
         break;
       }
       ++attempt_;
+      OBS_INSTANT_ARG("round.transmit", "gka", static_cast<std::uint64_t>(attempt_));
       state_ = State::kAwait;
       break;
 
@@ -85,6 +113,7 @@ RoundTask::State RoundTask::step() {
       // The caller let the medium deliver; drain and decide.
       state_ = State::kDrain;
       drain_all();
+      OBS_INSTANT("round.drain", "gka");
       bool all_done = true;
       for (const RoundSend& send : sends_) {
         if (missing_somewhere(send)) {
@@ -95,10 +124,13 @@ RoundTask::State RoundTask::step() {
       if (all_done) {
         result_.complete = true;
         state_ = State::kDone;
+        close_span();
       } else if (attempt_ > retries_) {
         state_ = State::kDone;  // incomplete after cap
+        close_span();
       } else {
         state_ = State::kRetransmit;
+        OBS_INSTANT_ARG("round.retransmit", "gka", static_cast<std::uint64_t>(attempt_));
       }
       break;
     }

@@ -57,6 +57,7 @@ class RoundTask {
   /// network's cap.
   RoundTask(net::Network& network, const std::vector<RoundSend>& sends,
             const std::vector<std::uint32_t>& receivers, int retries);
+  ~RoundTask();
 
   /// Advances the machine: transmits missing sends (kTransmit/kRetransmit)
   /// or drains inboxes and checks completion (after an await). Returns the
@@ -81,6 +82,8 @@ class RoundTask {
   /// whether anything went on the air.
   bool transmit_missing();
   void drain_all();
+  /// Ends the round's trace span exactly once (reaching kDone, or unwind).
+  void close_span();
 
   net::Network& network_;
   const std::vector<RoundSend>& sends_;
@@ -88,6 +91,7 @@ class RoundTask {
   int retries_;
   int attempt_ = 0;
   State state_ = State::kTransmit;
+  bool span_open_ = false;  ///< trace span began in the ctor, not yet ended
   /// Round label each sender transmits under (sender -> message type); a
   /// drained message off its sender's label is a straggler duplicate from
   /// an earlier round and is ignored (see the collection-policy note in

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace idgka::mpint {
 
 namespace {
@@ -66,6 +68,20 @@ OpCounts op_counts() {
   return OpCounts{g_exps.load(std::memory_order_relaxed),
                   g_mod_muls.load(std::memory_order_relaxed)};
 }
+
+#if IDGKA_OBS
+namespace {
+/// Surfaces the crypto op counters in obs::Registry snapshots as probes —
+/// read lazily at snapshot time, zero cost on the arithmetic hot path.
+const bool g_crypto_probes = [] {
+  obs::Registry::global().register_probe(
+      "crypto.exps", [] { return g_exps.load(std::memory_order_relaxed); });
+  obs::Registry::global().register_probe(
+      "crypto.mod_muls", [] { return g_mod_muls.load(std::memory_order_relaxed); });
+  return true;
+}();
+}  // namespace
+#endif
 
 std::size_t FixedBaseTable::table_bytes() const {
   std::size_t total = 0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace idgka::net {
 
 Network::Network(double loss_rate, std::uint64_t seed)
@@ -25,6 +27,8 @@ bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
 
 void Network::record_drop(const wire::Frame& frame, std::uint32_t to) {
   ++dropped_;
+  OBS_COUNT("net.drops", 1);
+  OBS_INSTANT_ARG("net.drop", "net", to);
   const auto it = stats_.find(to);
   if (it != stats_.end()) ++it->second.dropped_messages;
   if (drop_observer_) drop_observer_(frame, to);
@@ -38,6 +42,8 @@ void Network::enqueue(std::vector<wire::Frame>& inbox, const wire::Frame& frame,
   ++st.rx_messages;
   st.rx_bits += frame.accounted_bits();
   st.rx_encoded_bits += frame.size_bits();
+  OBS_COUNT("net.rx_copies", 1);
+  OBS_COUNT("net.rx_encoded_bits", frame.size_bits());
 
   wire::Frame out = frame;  // shared buffer; O(1)
   if (frame_tamper_) {
@@ -54,6 +60,7 @@ void Network::enqueue(std::vector<wire::Frame>& inbox, const wire::Frame& frame,
       // could see it; the receiver will discard it either way.
       ++corrupted_;
       ++st.corrupted_frames;
+      OBS_COUNT("net.corrupted_frames", 1);
       return;
     }
     const Message original = msg;
@@ -78,6 +85,7 @@ void Network::deliver(const wire::Frame& frame, std::uint32_t to) {
 }
 
 void Network::deposit(const wire::Frame& frame, std::uint32_t to) {
+  OBS_INSTANT_ARG("net.deposit", "net", to);
   auto it = inboxes_.find(to);
   if (it == inboxes_.end()) {
     // Receiver departed while the copy was in flight: a timed medium cannot
@@ -102,11 +110,14 @@ wire::Frame Network::encode_and_charge(const Message& msg) {
   ++st.tx_messages;
   st.tx_bits += frame.accounted_bits();
   st.tx_encoded_bits += frame.size_bits();
+  OBS_COUNT("net.tx_frames", 1);
+  OBS_COUNT("net.tx_encoded_bits", frame.size_bits());
   return frame;
 }
 
 void Network::broadcast(const Message& msg, const std::vector<std::uint32_t>& group) {
   if (!has_node(msg.sender)) throw std::invalid_argument("Network: unknown sender");
+  OBS_SPAN_ARG("net.broadcast", "net", group.size());
   const wire::Frame frame = encode_and_charge(msg);  // encoded exactly once
   for (const std::uint32_t to : group) {
     if (to == msg.sender) continue;  // self-delivery never happens
@@ -123,6 +134,7 @@ void Network::unicast(Message msg) {
   if (!msg.recipient.has_value()) {
     throw std::invalid_argument("Network: unicast requires a recipient");
   }
+  OBS_SPAN_ARG("net.unicast", "net", *msg.recipient);
   const wire::Frame frame = encode_and_charge(msg);
   if (transport_) {
     transport_(frame, *msg.recipient);

@@ -1,0 +1,129 @@
+#include "obs/json_writer.h"
+
+#include <cstdio>
+
+namespace idgka::obs {
+
+void JsonWriter::prefix(bool is_key) {
+  if (after_key_) {
+    // Value completing a key: no comma, the key already placed one.
+    after_key_ = is_key;  // a key right after a key is malformed; tolerate
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back()) out_ += ',';
+    stack_.back() = true;
+  }
+  after_key_ = is_key;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix(false);
+  out_ += '{';
+  stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (!stack_.empty()) stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix(false);
+  out_ += '[';
+  stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (!stack_.empty()) stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  prefix(true);
+  out_ += '"';
+  for (const char c : k) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  prefix(false);
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  prefix(false);
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix(false);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix(false);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix(false);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prefix(false);
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  prefix(false);
+  out_ += json;
+  return *this;
+}
+
+}  // namespace idgka::obs

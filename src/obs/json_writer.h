@@ -1,0 +1,82 @@
+// Minimal deterministic JSON writer shared by every metrics exporter.
+//
+// The simulation metrics (src/sim/metrics.cpp), the obs::Registry snapshot
+// and the Chrome trace exporter all emit hand-rolled JSON; this writer is
+// the one place that knows how to do it correctly: comma placement is
+// tracked per nesting level, strings are escaped, and doubles are printed
+// with a fixed "%.3f" format — so the output of a deterministic producer is
+// byte-identical across runs (the property the sim determinism tests and
+// the trace-determinism test assert).
+//
+// The writer never validates structure beyond comma/nesting bookkeeping;
+// callers are expected to emit well-formed sequences (every begin_* paired
+// with the matching end_*, key() only inside objects).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace idgka::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"k":` (with a leading comma when needed). The next value /
+  /// begin_* call supplies the value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);  ///< quoted + escaped
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double v);  ///< fixed "%.3f" — deterministic
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  /// Any other integral type routes through the 64-bit overloads (covers
+  /// size_t/uint32_t on every LP64/ILP32 model without overload clashes).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::uint64_t> && !std::is_same_v<T, std::int64_t>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) return value(static_cast<std::int64_t>(v));
+    else return value(static_cast<std::uint64_t>(v));
+  }
+  /// Emits `null`.
+  JsonWriter& null();
+  /// Splices pre-rendered JSON as one value (comma bookkeeping applies).
+  JsonWriter& raw(std::string_view json);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  /// Moves the buffer out; the writer is reusable (empty) afterwards.
+  [[nodiscard]] std::string take() {
+    std::string s = std::move(out_);
+    out_.clear();
+    stack_.clear();
+    return s;
+  }
+
+ private:
+  /// Comma bookkeeping before a value or key at the current level.
+  void prefix(bool is_key);
+
+  std::string out_;
+  /// One flag per open container: "has at least one element".
+  std::vector<bool> stack_;
+  /// A key() was just written; the next value is its payload (no comma).
+  bool after_key_ = false;
+};
+
+}  // namespace idgka::obs

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace idgka::sim {
 
 namespace {
@@ -95,12 +97,20 @@ void ProtocolDriver::attach(cluster::HierarchicalSession& session) {
   hier_->set_network_hook([this](net::Network& network) { install(network); });
 }
 
-OpOutcome ProtocolDriver::timed(const std::function<bool(OpOutcome&)>& op) {
+OpOutcome ProtocolDriver::timed(const char* label,
+                               const std::function<bool(OpOutcome&)>& op) {
   if (flat_ == nullptr && hier_ == nullptr) {
     throw std::logic_error("ProtocolDriver: no session attached");
   }
   OpOutcome outcome;
-  const auto body = [this, &op, &outcome](engine::ProtocolRun& run) {
+  const auto body = [this, label, &op, &outcome](engine::ProtocolRun& run) {
+#if IDGKA_OBS
+    // Span begins/ends on the run thread while it has the floor, so the
+    // virtual timestamps bracket exactly [start_us, end_us].
+    const obs::Span span(label, "sim");
+#else
+    (void)label;
+#endif
     outcome.start_us = run.now();
     try {
       outcome.success = op(outcome);
@@ -125,7 +135,7 @@ OpOutcome ProtocolDriver::timed(const std::function<bool(OpOutcome&)>& op) {
 }
 
 OpOutcome ProtocolDriver::form() {
-  return timed([this](OpOutcome& out) {
+  return timed("sim.op.form", [this](OpOutcome& out) {
     if (flat_ != nullptr) {
       const gka::RunResult result = flat_->form();
       out.rounds = result.rounds;
@@ -137,7 +147,7 @@ OpOutcome ProtocolDriver::form() {
 }
 
 OpOutcome ProtocolDriver::join(std::uint32_t id) {
-  return timed([this, id](OpOutcome& out) {
+  return timed("sim.op.join", [this, id](OpOutcome& out) {
     if (flat_ != nullptr) {
       const gka::RunResult result = flat_->join(id);
       out.rounds = result.rounds;
@@ -149,7 +159,7 @@ OpOutcome ProtocolDriver::join(std::uint32_t id) {
 }
 
 OpOutcome ProtocolDriver::leave(std::uint32_t id) {
-  return timed([this, id](OpOutcome& out) {
+  return timed("sim.op.leave", [this, id](OpOutcome& out) {
     if (flat_ != nullptr) {
       const gka::RunResult result = flat_->leave(id);
       out.rounds = result.rounds;
@@ -161,7 +171,7 @@ OpOutcome ProtocolDriver::leave(std::uint32_t id) {
 }
 
 OpOutcome ProtocolDriver::partition(const std::vector<std::uint32_t>& ids) {
-  return timed([this, &ids](OpOutcome& out) {
+  return timed("sim.op.partition", [this, &ids](OpOutcome& out) {
     if (flat_ != nullptr) {
       const gka::RunResult result = flat_->partition(ids);
       out.rounds = result.rounds;
@@ -173,7 +183,7 @@ OpOutcome ProtocolDriver::partition(const std::vector<std::uint32_t>& ids) {
 }
 
 OpOutcome ProtocolDriver::admit(const std::vector<std::uint32_t>& ids) {
-  return timed([this, &ids](OpOutcome& out) {
+  return timed("sim.op.admit", [this, &ids](OpOutcome& out) {
     if (flat_ != nullptr) {
       bool all = true;
       for (const std::uint32_t id : ids) {

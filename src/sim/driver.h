@@ -133,7 +133,8 @@ class ProtocolDriver {
 
  private:
   void install(net::Network& network);
-  OpOutcome timed(const std::function<bool(OpOutcome&)>& op);
+  /// `label` must be a string literal (stored by pointer in trace events).
+  OpOutcome timed(const char* label, const std::function<bool(OpOutcome&)>& op);
 
   engine::Executor* exec_ = nullptr;
   DriverConfig cfg_;

@@ -2,135 +2,125 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
+
+#include "obs/json_writer.h"
 
 namespace idgka::sim {
 
 namespace {
 
-void append_kv(std::string& out, const char* key, const std::string& value, bool quote) {
-  out += '"';
-  out += key;
-  out += "\":";
-  if (quote) out += '"';
-  out += value;
-  if (quote) out += '"';
-}
-
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.3f", v);
-  return buf;
+/// Sorted copy of a latency sample: one sort per block; every percentile
+/// of the block reuses it (the by-value-per-call sort this replaced showed
+/// up in bench profiles at large n).
+std::vector<SimTime> sorted_copy(const std::vector<SimTime>& sample) {
+  std::vector<SimTime> s = sample;
+  std::sort(s.begin(), s.end());
+  return s;
 }
 
 /// `{"count":N,"p50_us":...,"p99_us":...}` over one latency sample.
-void append_percentile_block(std::string& out, const std::vector<SimTime>& sample) {
-  out += '{';
-  append_kv(out, "count", std::to_string(sample.size()), false);
-  out += ',';
-  append_kv(out, "p50_us", std::to_string(percentile_us(sample, 50.0)), false);
-  out += ',';
-  append_kv(out, "p99_us", std::to_string(percentile_us(sample, 99.0)), false);
-  out += '}';
+void append_percentile_block(obs::JsonWriter& w, const std::vector<SimTime>& sample) {
+  const std::vector<SimTime> s = sorted_copy(sample);
+  w.begin_object();
+  w.kv("count", s.size());
+  w.kv("p50_us", percentile_sorted_us(s, 50.0));
+  w.kv("p99_us", percentile_sorted_us(s, 99.0));
+  w.end_object();
 }
 
 }  // namespace
 
-SimTime percentile_us(std::vector<SimTime> sample, double q) {
-  if (sample.empty()) return 0;
-  std::sort(sample.begin(), sample.end());
-  const double rank = q / 100.0 * static_cast<double>(sample.size());
+SimTime percentile_sorted_us(const std::vector<SimTime>& sorted_sample, double q) {
+  if (sorted_sample.empty()) return 0;
+  const double rank = q / 100.0 * static_cast<double>(sorted_sample.size());
   std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
   if (idx > 0) --idx;
-  if (idx >= sample.size()) idx = sample.size() - 1;
-  return sample[idx];
+  if (idx >= sorted_sample.size()) idx = sorted_sample.size() - 1;
+  return sorted_sample[idx];
+}
+
+SimTime percentile_us(const std::vector<SimTime>& sample, double q) {
+  return percentile_sorted_us(sorted_copy(sample), q);
 }
 
 std::string Metrics::to_json() const {
-  std::string out = "{";
-  append_kv(out, "scenario", scenario, true);
-  out += ',';
-  append_kv(out, "topology", topology, true);
-  out += ',';
-  append_kv(out, "seed", std::to_string(seed), false);
-  out += ",\"members\":{";
-  append_kv(out, "initial", std::to_string(members_initial), false);
-  out += ',';
-  append_kv(out, "final", std::to_string(members_final), false);
-  out += ',';
-  append_kv(out, "clusters", std::to_string(clusters_final), false);
-  out += "},\"form\":{";
-  append_kv(out, "success", form_success ? "true" : "false", false);
-  out += ',';
-  append_kv(out, "latency_us", std::to_string(form_latency_us), false);
-  out += "},\"rekeys\":{";
-  append_kv(out, "attempted", std::to_string(rekeys_attempted), false);
-  out += ',';
-  append_kv(out, "completed", std::to_string(rekeys_completed), false);
-  out += ',';
-  append_kv(out, "convergence", fmt_double(convergence()), false);
-  out += ',';
-  append_kv(out, "join", std::to_string(events_join), false);
-  out += ',';
-  append_kv(out, "leave", std::to_string(events_leave), false);
-  out += ',';
-  append_kv(out, "partition", std::to_string(events_partition), false);
-  out += ',';
-  append_kv(out, "merge", std::to_string(events_merge), false);
-  out += "},\"latency_us\":{";
-  append_kv(out, "count", std::to_string(rekey_latencies_us.size()), false);
-  out += ',';
-  append_kv(out, "p50", std::to_string(percentile_us(rekey_latencies_us, 50.0)), false);
-  out += ',';
-  append_kv(out, "p90", std::to_string(percentile_us(rekey_latencies_us, 90.0)), false);
-  out += ',';
-  append_kv(out, "p99", std::to_string(percentile_us(rekey_latencies_us, 99.0)), false);
-  out += ',';
-  append_kv(out, "max", std::to_string(percentile_us(rekey_latencies_us, 100.0)), false);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("scenario", scenario);
+  w.kv("topology", topology);
+  w.kv("seed", seed);
+  w.key("members").begin_object();
+  w.kv("initial", members_initial);
+  w.kv("final", members_final);
+  w.kv("clusters", clusters_final);
+  w.end_object();
+  w.key("form").begin_object();
+  w.kv("success", form_success);
+  w.kv("latency_us", form_latency_us);
+  w.end_object();
+  w.key("rekeys").begin_object();
+  w.kv("attempted", rekeys_attempted);
+  w.kv("completed", rekeys_completed);
+  w.kv("convergence", convergence());
+  w.kv("join", events_join);
+  w.kv("leave", events_leave);
+  w.kv("partition", events_partition);
+  w.kv("merge", events_merge);
+  w.end_object();
+  {
+    const std::vector<SimTime> rekeys = sorted_copy(rekey_latencies_us);
+    w.key("latency_us").begin_object();
+    w.kv("count", rekeys.size());
+    w.kv("p50", percentile_sorted_us(rekeys, 50.0));
+    w.kv("p90", percentile_sorted_us(rekeys, 90.0));
+    w.kv("p99", percentile_sorted_us(rekeys, 99.0));
+    w.kv("max", percentile_sorted_us(rekeys, 100.0));
+    w.end_object();
+  }
   // Per-operation latency percentiles: `all` spans every completed
   // operation including form (whose start/end stamps stay in the `form`
   // block above); the kind keys split the rekeys by membership event.
-  out += "},\"latency\":{";
-  append_kv(out, "count", std::to_string(op_latencies_us.all.size()), false);
-  out += ',';
-  append_kv(out, "p50_us", std::to_string(percentile_us(op_latencies_us.all, 50.0)), false);
-  out += ',';
-  append_kv(out, "p99_us", std::to_string(percentile_us(op_latencies_us.all, 99.0)), false);
-  out += ",\"join\":";
-  append_percentile_block(out, op_latencies_us.join);
-  out += ",\"leave\":";
-  append_percentile_block(out, op_latencies_us.leave);
-  out += ",\"partition\":";
-  append_percentile_block(out, op_latencies_us.partition);
-  out += ",\"merge\":";
-  append_percentile_block(out, op_latencies_us.merge);
-  out += "},\"air\":{";
-  append_kv(out, "frames", std::to_string(frames_on_air), false);
-  out += ',';
-  append_kv(out, "bits", std::to_string(bits_on_air), false);
-  out += ',';
-  append_kv(out, "encoded_bits", std::to_string(encoded_bits_on_air), false);
-  out += ',';
-  append_kv(out, "copies_dropped", std::to_string(copies_dropped), false);
-  out += ',';
-  append_kv(out, "bits_dropped", std::to_string(bits_dropped), false);
-  out += "},\"battery\":{";
-  append_kv(out, "deaths", std::to_string(deaths), false);
-  out += ',';
-  append_kv(out, "first_death_us",
-            first_death_us ? std::to_string(*first_death_us) : std::string("null"), false);
-  out += ',';
-  append_kv(out, "energy_total_mj", fmt_double(energy_total_mj), false);
-  out += "},\"crypto\":{";
-  append_kv(out, "exps", std::to_string(crypto_exps), false);
-  out += ',';
-  append_kv(out, "mod_muls", std::to_string(crypto_mod_muls), false);
-  out += "},";
-  append_kv(out, "all_members_agree", all_members_agree ? "true" : "false", false);
-  out += ',';
-  append_kv(out, "end_time_us", std::to_string(end_time_us), false);
-  out += '}';
-  return out;
+  {
+    const std::vector<SimTime> all = sorted_copy(op_latencies_us.all);
+    w.key("latency").begin_object();
+    w.kv("count", all.size());
+    w.kv("p50_us", percentile_sorted_us(all, 50.0));
+    w.kv("p99_us", percentile_sorted_us(all, 99.0));
+    w.key("join");
+    append_percentile_block(w, op_latencies_us.join);
+    w.key("leave");
+    append_percentile_block(w, op_latencies_us.leave);
+    w.key("partition");
+    append_percentile_block(w, op_latencies_us.partition);
+    w.key("merge");
+    append_percentile_block(w, op_latencies_us.merge);
+    w.end_object();
+  }
+  w.key("air").begin_object();
+  w.kv("frames", frames_on_air);
+  w.kv("bits", bits_on_air);
+  w.kv("encoded_bits", encoded_bits_on_air);
+  w.kv("copies_dropped", copies_dropped);
+  w.kv("bits_dropped", bits_dropped);
+  w.end_object();
+  w.key("battery").begin_object();
+  w.kv("deaths", deaths);
+  w.key("first_death_us");
+  if (first_death_us) {
+    w.value(*first_death_us);
+  } else {
+    w.null();
+  }
+  w.kv("energy_total_mj", energy_total_mj);
+  w.end_object();
+  w.key("crypto").begin_object();
+  w.kv("exps", crypto_exps);
+  w.kv("mod_muls", crypto_mod_muls);
+  w.end_object();
+  w.kv("all_members_agree", all_members_agree);
+  w.kv("end_time_us", end_time_us);
+  w.end_object();
+  return w.take();
 }
 
 std::size_t MultiGroupMetrics::rekeys_attempted() const {
@@ -178,56 +168,50 @@ std::string MultiGroupMetrics::to_json() const {
     drops += g.copies_dropped;
   }
 
-  std::string out = "{";
-  append_kv(out, "scenario", scenario, true);
-  out += ',';
-  append_kv(out, "seed", std::to_string(seed), false);
-  out += ',';
-  append_kv(out, "groups", std::to_string(per_group.size()), false);
-  out += ",\"aggregate\":{\"rekeys\":{";
-  append_kv(out, "attempted", std::to_string(rekeys_attempted()), false);
-  out += ',';
-  append_kv(out, "completed", std::to_string(rekeys_completed()), false);
-  out += ',';
-  append_kv(out, "convergence", fmt_double(convergence()), false);
-  out += "},\"latency\":{";
-  const std::vector<SimTime> all = all_op_latencies_us();
-  append_kv(out, "count", std::to_string(all.size()), false);
-  out += ',';
-  append_kv(out, "p50_us", std::to_string(percentile_us(all, 50.0)), false);
-  out += ',';
-  append_kv(out, "p90_us", std::to_string(percentile_us(all, 90.0)), false);
-  out += ',';
-  append_kv(out, "p99_us", std::to_string(percentile_us(all, 99.0)), false);
-  out += ',';
-  append_kv(out, "max_us", std::to_string(percentile_us(all, 100.0)), false);
-  out += "},\"air\":{";
-  append_kv(out, "frames", std::to_string(frames), false);
-  out += ',';
-  append_kv(out, "bits", std::to_string(bits), false);
-  out += ',';
-  append_kv(out, "encoded_bits", std::to_string(encoded), false);
-  out += ',';
-  append_kv(out, "copies_dropped", std::to_string(drops), false);
-  out += "},\"engine\":{";
-  append_kv(out, "resumes", std::to_string(engine_resumes), false);
-  out += ',';
-  append_kv(out, "max_concurrent_runs", std::to_string(max_concurrent_runs), false);
-  out += "},\"crypto\":{";
-  append_kv(out, "exps", std::to_string(crypto_exps), false);
-  out += ',';
-  append_kv(out, "mod_muls", std::to_string(crypto_mod_muls), false);
-  out += "},";
-  append_kv(out, "all_groups_agree", all_groups_agree() ? "true" : "false", false);
-  out += ',';
-  append_kv(out, "end_time_us", std::to_string(end_time_us), false);
-  out += "},\"per_group\":[";
-  for (std::size_t i = 0; i < per_group.size(); ++i) {
-    if (i > 0) out += ',';
-    out += per_group[i].to_json();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("scenario", scenario);
+  w.kv("seed", seed);
+  w.kv("groups", per_group.size());
+  w.key("aggregate").begin_object();
+  w.key("rekeys").begin_object();
+  w.kv("attempted", rekeys_attempted());
+  w.kv("completed", rekeys_completed());
+  w.kv("convergence", convergence());
+  w.end_object();
+  {
+    std::vector<SimTime> all = all_op_latencies_us();
+    std::sort(all.begin(), all.end());
+    w.key("latency").begin_object();
+    w.kv("count", all.size());
+    w.kv("p50_us", percentile_sorted_us(all, 50.0));
+    w.kv("p90_us", percentile_sorted_us(all, 90.0));
+    w.kv("p99_us", percentile_sorted_us(all, 99.0));
+    w.kv("max_us", percentile_sorted_us(all, 100.0));
+    w.end_object();
   }
-  out += "]}";
-  return out;
+  w.key("air").begin_object();
+  w.kv("frames", frames);
+  w.kv("bits", bits);
+  w.kv("encoded_bits", encoded);
+  w.kv("copies_dropped", drops);
+  w.end_object();
+  w.key("engine").begin_object();
+  w.kv("resumes", engine_resumes);
+  w.kv("max_concurrent_runs", max_concurrent_runs);
+  w.end_object();
+  w.key("crypto").begin_object();
+  w.kv("exps", crypto_exps);
+  w.kv("mod_muls", crypto_mod_muls);
+  w.end_object();
+  w.kv("all_groups_agree", all_groups_agree());
+  w.kv("end_time_us", end_time_us);
+  w.end_object();
+  w.key("per_group").begin_array();
+  for (const Metrics& g : per_group) w.raw(g.to_json());
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace idgka::sim

@@ -16,8 +16,13 @@
 namespace idgka::sim {
 
 /// Nearest-rank percentile (q in [0, 100]) of an unsorted sample; 0 when
-/// empty.
-[[nodiscard]] SimTime percentile_us(std::vector<SimTime> sample, double q);
+/// empty. Sorts a copy internally — when taking several percentiles of one
+/// sample, sort once and use percentile_sorted_us instead.
+[[nodiscard]] SimTime percentile_us(const std::vector<SimTime>& sample, double q);
+
+/// Same, over an already-sorted (ascending) sample — no copy, no sort.
+[[nodiscard]] SimTime percentile_sorted_us(const std::vector<SimTime>& sorted_sample,
+                                           double q);
 
 struct Metrics {
   std::string scenario;

@@ -2,6 +2,7 @@
 
 #include "ec/curve.h"
 #include "mpint/mod_context.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -13,6 +14,18 @@
 namespace idgka::sim {
 
 namespace {
+
+#if IDGKA_OBS
+/// Trace clock over the run's scheduler, so every event of a sim run
+/// carries virtual time and same-seed runs export byte-identical traces.
+/// Reads Scheduler::now() directly — NOT Executor::now(): deposit events
+/// emit trace instants while the executor mutex is held, and a clock that
+/// re-took it would self-deadlock. The raw read is safe in practice: the
+/// clock only advances on the host thread while every run is parked.
+std::uint64_t scheduler_clock(const void* ctx) {
+  return static_cast<std::uint64_t>(static_cast<const Scheduler*>(ctx)->now());
+}
+#endif
 
 // --- Churn helpers shared by the single-scenario Run and the multi-group
 // --- Group (identical rekey recording and membership-guard rules).
@@ -194,6 +207,7 @@ struct Run {
   }
 
   void apply_trace(const TraceEvent& event) {
+    OBS_INSTANT_ARG("sim.trace_event", "sim", event.ids.size());
     apply_trace_event(driver, metrics, event.kind, event.ids, admission());
   }
 
@@ -211,6 +225,9 @@ struct Run {
   }
 
   void handle_deaths(const std::vector<std::uint32_t>& dead_members) {
+    if (!dead_members.empty()) {
+      OBS_INSTANT_ARG("sim.death", "sim", dead_members.size());
+    }
     remove_members(driver, metrics, dead_members, metrics.events_leave);
   }
 
@@ -256,6 +273,10 @@ Metrics ScenarioRunner::run() {
   (void)ec::p256();
 
   Run run(cfg_);
+#if IDGKA_OBS
+  const obs::ScopedClock obs_clock(&scheduler_clock, &run.scheduler);
+  const obs::Span obs_span("sim.scenario", "sim");
+#endif
   run.metrics.scenario = cfg_.name;
   run.metrics.topology = cfg_.topology == Topology::kFlat ? "flat" : "hierarchical";
   run.metrics.seed = cfg_.seed;
@@ -303,6 +324,7 @@ Metrics ScenarioRunner::run() {
     } else if (have_tick) {
       run.scheduler.run_until(next_tick);
       next_tick += cfg_.waypoint.tick_us;
+      OBS_INSTANT("sim.tick", "sim");
       if (cfg_.waypoint.enabled) {
         run.move_all(run.scheduler.now());
         run.apply_mobility_churn();
@@ -427,6 +449,10 @@ MultiGroupMetrics MultiGroupRunner::run() {
   const mpint::OpCounts ops_start = mpint::op_counts();
   Scheduler scheduler;
   engine::Executor executor(scheduler);
+#if IDGKA_OBS
+  const obs::ScopedClock obs_clock(&scheduler_clock, &scheduler);
+  const obs::Span obs_span("sim.multigroup", "sim");
+#endif
 
   // Group construction (authorities, sessions) is serial and cheap next to
   // the runs; bodies then only touch their own group + the executor.

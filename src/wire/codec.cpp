@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace idgka::wire {
 
 namespace {
@@ -187,10 +189,30 @@ Frame encode(const net::Message& msg) {
     out.push_back(static_cast<std::uint8_t>(value >> 8));
     out.push_back(static_cast<std::uint8_t>(value));
   }
+  OBS_COUNT("wire.encodes", 1);
+  OBS_COUNT("wire.encoded_bytes", out.size());
+  OBS_RECORD("wire.frame_bytes", out.size());
+  OBS_INSTANT_ARG("wire.encode", "wire", out.size());
   return Frame(std::move(out), msg.accounted_bits(), msg.sender);
 }
 
 net::Message decode(std::span<const std::uint8_t> bytes) {
+  // Decode-error accounting rides the exception path: every DecodeError
+  // that escapes this frame is one rejected frame, wherever it was thrown.
+  struct DecodeScope {
+    std::size_t bytes;
+    bool ok = false;
+    ~DecodeScope() {
+      if (ok) {
+        OBS_COUNT("wire.decodes", 1);
+        OBS_COUNT("wire.decoded_bytes", bytes);
+      } else {
+        OBS_COUNT("wire.decode_errors", 1);
+        OBS_INSTANT("wire.decode_error", "wire");
+      }
+    }
+  } scope{bytes.size()};
+
   Reader r(bytes);
   const Header h = read_header(r);
 
@@ -242,6 +264,7 @@ net::Message decode(std::span<const std::uint8_t> bytes) {
     }
   }
   if (!r.done()) throw DecodeError("wire: trailing garbage after payload");
+  scope.ok = true;
   return msg;
 }
 
