@@ -8,13 +8,20 @@
 //   * full_trace   — tracing enabled, virtual-clock spans from every layer;
 //     the exported Chrome trace is written to obs_trace.json.
 //
+// The legs are INTERLEAVED A/B repetitions (off, on, off, on, ...) so slow
+// drift — thermal ramp-up, allocator growth, a noisy CI neighbour — lands
+// on both legs evenly instead of biasing whichever leg happens to run
+// last; the primary statistic is the median over repetitions (robust to a
+// single descheduled run), with the min kept as a secondary field.
+//
 // The same source also builds under -DIDGKA_OBS=0 (the compiled-out build),
 // where it emits a single `compiled_out` leg. Passing
 // `--baseline <BENCH_obs.json from that build>` to the normal binary gates
 // the contract: runtime-off wall time must stay within 2% of compiled-out
-// (min-of-N on both sides; exits non-zero past the gate).
+// (median vs median; exits non-zero past the gate).
 //
 // Results go to BENCH_obs.json (a CI artifact).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -75,34 +82,31 @@ struct Leg {
     for (const double w : wall_ms) best = best < w ? best : w;
     return best;
   }
+  [[nodiscard]] double median_ms() const {
+    std::vector<double> s = wall_ms;
+    std::sort(s.begin(), s.end());
+    const std::size_t n = s.size();
+    return n % 2 == 1 ? s[n / 2] : (s[n / 2 - 1] + s[n / 2]) / 2.0;
+  }
 };
 
-Leg run_leg(const char* name) {
-  const sim::ScenarioConfig cfg = make_config();
-  Leg leg;
-  leg.name = name;
-  // One untimed warm-up absorbs lazy static init (named curves, allocator
-  // growth) so the first timed run doesn't bias the leg that runs first.
-  (void)sim::ScenarioRunner(cfg).run();
-  for (int i = 0; i < kRepeats; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const sim::Metrics metrics = sim::ScenarioRunner(cfg).run();
-    leg.wall_ms.push_back(
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-            .count());
-    if (!metrics.form_success || !metrics.all_members_agree) {
-      std::fprintf(stderr, "FAILED: scenario did not converge in leg %s\n", name);
-      std::exit(1);
-    }
+/// One timed scenario run under the current trace setting.
+double run_once(const sim::ScenarioConfig& cfg, const char* leg_name) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::Metrics metrics = sim::ScenarioRunner(cfg).run();
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  if (!metrics.form_success || !metrics.all_members_agree) {
+    std::fprintf(stderr, "FAILED: scenario did not converge in leg %s\n", leg_name);
+    std::exit(1);
   }
-  std::printf("  %-12s min %8.1f ms over %d runs\n", leg.name.c_str(), leg.min_ms(),
-              kRepeats);
-  return leg;
+  return ms;
 }
 
-/// Minimal extraction of `"<leg>"` ... `"wall_ms_min":<double>` from a
-/// BENCH_obs.json written by this program (any build).
-double baseline_min_ms(const std::string& path, const char* leg) {
+/// Minimal extraction of `"<leg>"` ... `"wall_ms_median":<double>` from a
+/// BENCH_obs.json written by this program (any build). Falls back to
+/// wall_ms_min for baselines written before the median rework.
+double baseline_ms(const std::string& path, const char* leg) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "FAILED: cannot read baseline %s\n", path.c_str());
@@ -112,12 +116,18 @@ double baseline_min_ms(const std::string& path, const char* leg) {
   ss << in.rdbuf();
   const std::string text = ss.str();
   const std::size_t at = text.find(std::string("\"name\":\"") + leg + '"');
-  const std::size_t key = at == std::string::npos ? at : text.find("\"wall_ms_min\":", at);
-  if (key == std::string::npos) {
+  if (at == std::string::npos) {
     std::fprintf(stderr, "FAILED: baseline %s has no %s leg\n", path.c_str(), leg);
     std::exit(1);
   }
-  return std::strtod(text.c_str() + key + std::strlen("\"wall_ms_min\":"), nullptr);
+  for (const char* key : {"\"wall_ms_median\":", "\"wall_ms_min\":"}) {
+    const std::size_t pos = text.find(key, at);
+    if (pos != std::string::npos) {
+      return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+    }
+  }
+  std::fprintf(stderr, "FAILED: baseline %s leg %s has no wall_ms field\n", path.c_str(), leg);
+  std::exit(1);
 }
 
 }  // namespace
@@ -130,25 +140,46 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("=== Observability overhead: n=%zu churn scenario, min of %d ===\n", kMembers,
-              kRepeats);
+  std::printf("=== Observability overhead: n=%zu churn scenario, median of %d (interleaved) ===\n",
+              kMembers, kRepeats);
 
+  const sim::ScenarioConfig cfg = make_config();
   std::vector<Leg> legs;
 #if IDGKA_OBS
+  // Interleaved A/B: every repetition runs both legs back to back, so any
+  // drift over the bench's lifetime hits both legs symmetrically.
+  Leg off;
+  off.name = "runtime_off";
+  Leg full;
+  full.name = "full_trace";
   obs::set_trace_enabled(false);
-  legs.push_back(run_leg("runtime_off"));
+  (void)sim::ScenarioRunner(cfg).run();  // warm-up: lazy statics, allocator
+  for (int i = 0; i < kRepeats; ++i) {
+    obs::set_trace_enabled(false);
+    off.wall_ms.push_back(run_once(cfg, off.name.c_str()));
 
-  obs::clear();
-  obs::set_trace_enabled(true);
-  legs.push_back(run_leg("full_trace"));
-  obs::set_trace_enabled(false);
-  if (obs::export_chrome_trace_file("obs_trace.json")) {
-    std::printf("  wrote obs_trace.json (last run's flight recorder)\n");
+    obs::clear();
+    obs::set_trace_enabled(true);
+    full.wall_ms.push_back(run_once(cfg, full.name.c_str()));
+    obs::set_trace_enabled(false);
+    if (i == kRepeats - 1 && obs::export_chrome_trace_file("obs_trace.json")) {
+      std::printf("  wrote obs_trace.json (last repetition's flight recorder)\n");
+    }
+    obs::clear();
   }
-  obs::clear();
+  legs.push_back(std::move(off));
+  legs.push_back(std::move(full));
 #else
-  legs.push_back(run_leg("compiled_out"));
+  Leg leg;
+  leg.name = "compiled_out";
+  (void)sim::ScenarioRunner(cfg).run();  // warm-up
+  for (int i = 0; i < kRepeats; ++i) leg.wall_ms.push_back(run_once(cfg, leg.name.c_str()));
+  legs.push_back(std::move(leg));
 #endif
+  for (const Leg& leg : legs) {
+    std::printf("  %-12s median %8.1f ms (min %8.1f) over %d runs\n", leg.name.c_str(),
+                leg.median_ms(), leg.min_ms(), kRepeats);
+  }
 
   obs::JsonWriter w;
   w.begin_object();
@@ -159,10 +190,12 @@ int main(int argc, char** argv) {
   w.kv("mode", "compiled-out");
 #endif
   w.kv("n", kMembers);
+  w.kv("interleaved", true);
   w.key("legs").begin_array();
   for (const Leg& leg : legs) {
     w.begin_object();
     w.kv("name", leg.name);
+    w.kv("wall_ms_median", leg.median_ms());
     w.kv("wall_ms_min", leg.min_ms());
     w.key("wall_ms_runs").begin_array();
     for (const double ms : leg.wall_ms) w.value(ms);
@@ -174,13 +207,13 @@ int main(int argc, char** argv) {
   int rc = 0;
 #if IDGKA_OBS
   if (!baseline_path.empty()) {
-    const double off_ms = legs.front().min_ms();
-    const double base_ms = baseline_min_ms(baseline_path, "compiled_out");
+    const double off_ms = legs.front().median_ms();
+    const double base_ms = baseline_ms(baseline_path, "compiled_out");
     const double overhead_pct = (off_ms - base_ms) / base_ms * 100.0;
     std::printf("  runtime-off vs compiled-out: %.1f ms vs %.1f ms (%+.2f%%, gate %.1f%%)\n",
                 off_ms, base_ms, overhead_pct, kGatePct);
     w.key("baseline").begin_object();
-    w.kv("wall_ms_min", base_ms);
+    w.kv("wall_ms_median", base_ms);
     w.kv("overhead_pct", overhead_pct);
     w.kv("gate_pct", kGatePct);
     w.end_object();

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
 #include "gka/session.h"
 
@@ -26,6 +27,12 @@ struct ClusterConfig {
   gka::Scheme scheme = gka::Scheme::kProposed;
   /// Loss rate applied to every leaf (and head-tier) network.
   double loss_rate = 0.0;
+  /// Observability dimension for this session's registry counters: when
+  /// non-empty, rekeys and rekey retries are additionally counted as
+  /// `cluster.rekeys{label}` / `cluster.rekey_retries{label}`. The sim
+  /// runners set this to the scenario (or scenario/group) name so matrix
+  /// cells and concurrent groups stay distinguishable in one registry.
+  std::string label;
 
   /// Initial shard size used by form() (midpoint of the bounds).
   [[nodiscard]] std::size_t target_size() const { return (min_cluster + max_cluster) / 2; }

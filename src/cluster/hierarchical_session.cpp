@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "obs/trace.h"
 #include "symc/kdf.h"
@@ -21,8 +22,15 @@ std::uint64_t sealed_blocks(std::size_t bytes) { return bytes / symc::Aes128::kB
 
 HierarchicalSession::HierarchicalSession(gka::Authority& authority, ClusterConfig config,
                                          std::vector<std::uint32_t> ids, std::uint64_t seed)
-    : authority_(authority), config_(config), seed_(seed) {
+    : authority_(authority), config_(std::move(config)), seed_(seed) {
   config_.validate();
+#if IDGKA_OBS
+  if (!config_.label.empty()) {
+    obs::Registry& reg = obs::Registry::global();
+    labeled_rekeys_ = &reg.counter("cluster.rekeys", config_.label);
+    labeled_rekey_retries_ = &reg.counter("cluster.rekey_retries", config_.label);
+  }
+#endif
   if (ids.size() < 2) {
     throw std::invalid_argument("HierarchicalSession: need at least 2 members");
   }
@@ -359,6 +367,9 @@ void HierarchicalSession::rekey_and_distribute() {
   ++epoch_;
   OBS_SPAN_ARG("cluster.rekey", "cluster", epoch_);
   OBS_COUNT("cluster.rekeys", 1);
+#if IDGKA_OBS
+  if (labeled_rekeys_ != nullptr) labeled_rekeys_->add(1);
+#endif
   const BigInt& tier_key = head_tier_ ? head_tier_->key() : clusters_.front()->key();
   const std::string label = "idgka-cluster-v1|epoch|" + std::to_string(epoch_);
   const auto key_bytes = symc::derive_key(tier_key, label);
@@ -418,6 +429,9 @@ void HierarchicalSession::rekey_and_distribute() {
     const int retries = network.effective_retry_cap(kMaxRekeyRetransmits);
     for (int attempt = 0; attempt < retries && !missing.empty(); ++attempt) {
       OBS_COUNT("cluster.rekey_retries", 1);
+#if IDGKA_OBS
+      if (labeled_rekey_retries_ != nullptr) labeled_rekey_retries_->add(1);
+#endif
       OBS_INSTANT_ARG("cluster.rekey_retry", "cluster", missing.size());
       for (const std::uint32_t id : missing) {
         net::Message retry = msg;

@@ -30,6 +30,7 @@
 #include "cluster/config.h"
 #include "cluster/report.h"
 #include "gka/session.h"
+#include "obs/trace.h"
 
 namespace idgka::cluster {
 
@@ -146,6 +147,13 @@ class HierarchicalSession {
   /// The same retired energy attributed per node, so member_ledger() stays
   /// monotonic across splits / tier rebuilds / rejoins (battery accounting).
   std::map<std::uint32_t, energy::Ledger> retired_by_member_;
+#if IDGKA_OBS
+  /// Labeled registry dimensions (`cluster.rekeys{config.label}` etc),
+  /// resolved once at construction when config.label is set so the rekey
+  /// path pays only a relaxed atomic add per event.
+  obs::Counter* labeled_rekeys_ = nullptr;
+  obs::Counter* labeled_rekey_retries_ = nullptr;
+#endif
 };
 
 }  // namespace idgka::cluster

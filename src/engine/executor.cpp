@@ -17,6 +17,9 @@ thread_local ProtocolRun* t_current_run = nullptr;
 
 ProtocolRun::ProtocolRun(Executor& exec, std::uint64_t id, std::string name, Body body)
     : exec_(exec), id_(id), name_(std::move(name)), body_(std::move(body)) {
+#if IDGKA_OBS
+  resumes_counter_ = &obs::Registry::global().counter("engine.resumes", name_);
+#endif
   thread_ = std::thread([this] { thread_main(); });
 }
 
@@ -157,6 +160,11 @@ void Executor::wake_from_timer(ProtocolRun* run, std::uint64_t epoch) {
 }
 
 void Executor::step(ProtocolRun* run) {
+#if IDGKA_OBS
+  // Same semantics as the aggregate engine.resumes bump in drain(), broken
+  // out by run name; the counter was cached at submit (relaxed add only).
+  run->resumes_counter_->add(1);
+#endif
   std::unique_lock<std::mutex> lock(mutex_);
   run->go_ = true;
   run->cv_.notify_one();

@@ -22,6 +22,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace idgka::engine {
@@ -103,6 +104,11 @@ class ProtocolRun {
   /// The current await resumes early when in_flight_ drains to zero.
   bool arrival_sensitive_ = false;
   std::exception_ptr error_;
+#if IDGKA_OBS
+  /// Per-run resume dimension (`engine.resumes{<run-name>}`), resolved
+  /// once at submit so the resume hot path stays a relaxed atomic add.
+  obs::Counter* resumes_counter_ = nullptr;
+#endif
 };
 
 }  // namespace idgka::engine

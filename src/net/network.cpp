@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -28,6 +29,16 @@ bool Network::has_node(std::uint32_t id) const { return inboxes_.contains(id); }
 void Network::record_drop(const wire::Frame& frame, std::uint32_t to) {
   ++dropped_;
   OBS_COUNT("net.drops", 1);
+#if IDGKA_OBS
+  {
+    // Per-directed-link drop dimension. Drops are the rare path by
+    // construction, so the labeled lookup's mutex cost is acceptable here;
+    // the registry's per-family cap coalesces n^2 link tails.
+    char link[24];
+    std::snprintf(link, sizeof link, "%u->%u", frame.sender(), to);
+    OBS_COUNT_LABELED("net.drop", link, 1);
+  }
+#endif
   OBS_INSTANT_ARG("net.drop", "net", to);
   const auto it = stats_.find(to);
   if (it != stats_.end()) ++it->second.dropped_messages;

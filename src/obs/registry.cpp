@@ -78,6 +78,68 @@ void Histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+// ----------------------------------------------------------------- Snapshot
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const {
+  Snapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    if (v > base) d.counters.emplace(name, v - base);
+  }
+  for (const auto& [name, v] : probes) {
+    const auto it = earlier.probes.find(name);
+    const std::uint64_t base = it == earlier.probes.end() ? 0 : it->second;
+    if (v > base) d.probes.emplace(name, v - base);
+  }
+  // Gauges are levels: the delta reports the later level as-is.
+  d.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    const std::uint64_t base_count = it == earlier.histograms.end() ? 0 : it->second.count;
+    const std::uint64_t base_sum = it == earlier.histograms.end() ? 0 : it->second.sum;
+    if (h.count <= base_count) continue;
+    Hist win = h;  // min/max/percentiles stay the later summary's
+    win.count = h.count - base_count;
+    win.sum = h.sum >= base_sum ? h.sum - base_sum : 0;
+    d.histograms.emplace(name, win);
+  }
+  return d;
+}
+
+void Snapshot::write(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("p50", h.p50);
+    w.kv("p90", h.p90);
+    w.kv("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("probes").begin_object();
+  for (const auto& [name, v] : probes) w.kv(name, v);
+  w.end_object();
+  w.end_object();
+}
+
+std::string Snapshot::to_json() const {
+  JsonWriter w;
+  write(w);
+  return w.take();
+}
+
 // ----------------------------------------------------------------- Registry
 
 Registry& Registry::global() {
@@ -107,6 +169,51 @@ Histogram& Registry::histogram(std::string_view name) {
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+std::string Registry::labeled_name(std::string_view base, std::string_view label) {
+  // mu_ held by the caller. The family ledger only grows while under the
+  // cap, so a hostile label domain costs at most kMaxLabelsPerFamily
+  // entries per base name before collapsing into the overflow bucket.
+  auto& family = labels_[std::string(base)];
+  if (!family.contains(label)) {
+    if (family.size() >= kMaxLabelsPerFamily) {
+      label = "overflow";
+    } else {
+      family.emplace(std::string(label), true);
+    }
+  }
+  std::string name;
+  name.reserve(base.size() + label.size() + 2);
+  name.append(base);
+  name.push_back('{');
+  name.append(label);
+  name.push_back('}');
+  return name;
+}
+
+Counter& Registry::counter(std::string_view base, std::string_view label) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string name = labeled_name(base, label);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::move(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view base, std::string_view label) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string name = labeled_name(base, label);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::move(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view base, std::string_view label) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string name = labeled_name(base, label);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::move(name)).first->second;
 }
 
 void Registry::register_probe(std::string_view name, Probe probe) {
@@ -146,6 +253,20 @@ std::string Registry::snapshot_json() const {
   JsonWriter w;
   write_snapshot(w);
   return w.take();
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace(name, Snapshot::Hist{h.count(), h.sum(), h.min(), h.max(),
+                                              h.percentile(50.0), h.percentile(90.0),
+                                              h.percentile(99.0)});
+  }
+  for (const auto& [name, probe] : probes_) s.probes.emplace(name, probe ? probe() : 0);
+  return s;
 }
 
 void Registry::reset() {

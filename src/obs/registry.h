@@ -109,6 +109,43 @@ class Histogram {
 /// lives outside the registry (mpint::op_counts, a TrafficStats total).
 using Probe = std::function<std::uint64_t()>;
 
+/// One parseable point-in-time capture of a Registry: every counter, gauge
+/// and histogram value plus every probe *sampled at capture time* — so a
+/// delta between two snapshots also covers the cumulative externals the
+/// probes adapt (crypto.exps over a window, not over the process).
+///
+/// Snapshots subtract: delta_since(earlier) isolates the increments of one
+/// region (a matrix cell, one test) from process-lifetime totals.
+struct Snapshot {
+  struct Hist {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+  std::map<std::string, std::uint64_t> probes;
+
+  /// Increments since `earlier`: counters and probes subtract (clamped at
+  /// zero — a reset between the snapshots reads as no increment, never an
+  /// underflow); gauges keep this snapshot's value (they are levels, not
+  /// totals); histograms subtract count/sum and keep this snapshot's
+  /// min/max/percentiles (octave-resolution summaries do not subtract).
+  /// Instruments with a zero counter/count delta are omitted, so a cell's
+  /// delta lists exactly the instruments the cell touched.
+  [[nodiscard]] Snapshot delta_since(const Snapshot& earlier) const;
+
+  /// Deterministic JSON, same shape as Registry::snapshot_json().
+  void write(JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
 class Registry {
  public:
   /// The process-wide registry every instrumented layer uses.
@@ -118,6 +155,26 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  // --- Labeled instruments (low-cardinality dimensions) ---
+  //
+  // A labeled instrument is an ordinary instrument named `base{label}` —
+  // it sorts next to its family in every snapshot and needs no separate
+  // export shape. Lookup cost is one mutex-guarded map find per call (no
+  // function-local-static caching is possible when the label varies), so
+  // labeled updates belong on *rare* paths (drops, retries, rekeys) or
+  // behind a reference resolved once and cached by the caller (the engine
+  // caches a per-run resumes counter at submit time).
+  //
+  // Cardinality is capped per family: after kMaxLabelsPerFamily distinct
+  // labels, further labels coalesce into `base{overflow}` — a registry
+  // can never be blown up by an unbounded label domain (n^2 link pairs).
+  static constexpr std::size_t kMaxLabelsPerFamily = 128;
+
+  Counter& counter(std::string_view base, std::string_view label);
+  Gauge& gauge(std::string_view base, std::string_view label);
+  Histogram& histogram(std::string_view base, std::string_view label);
+
   /// Registers (or replaces) a snapshot-time probe.
   void register_probe(std::string_view name, Probe probe);
 
@@ -128,17 +185,47 @@ class Registry {
   /// Same snapshot appended to an existing writer (as one value).
   void write_snapshot(JsonWriter& w) const;
 
+  /// Structured capture of every instrument + probe (see Snapshot).
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// Zeroes every counter/gauge/histogram (probes are external and keep
   /// their own state). For tests and benches that window a region.
   void reset();
 
  private:
+  /// Full instrument name of (base, label), enforcing the per-family cap
+  /// under mu_: past the cap the label collapses to "overflow".
+  std::string labeled_name(std::string_view base, std::string_view label);
+
   mutable std::mutex mu_;
   // node-based maps: instrument addresses are stable across inserts.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, Probe, std::less<>> probes_;
+  /// Distinct labels seen per family ("base" -> set of accepted labels).
+  std::map<std::string, std::map<std::string, bool, std::less<>>, std::less<>> labels_;
+};
+
+/// RAII snapshot-delta guard: captures Registry state at construction so a
+/// region (one matrix cell, one test body) can read exactly its own
+/// increments — delta() is "everything since the guard was built",
+/// independent of process-lifetime totals and with probes re-sampled on
+/// both sides. Does not reset the registry: guards nest and never disturb
+/// concurrent readers.
+class ScopedSnapshotDelta {
+ public:
+  explicit ScopedSnapshotDelta(const Registry& registry = Registry::global())
+      : registry_(registry), start_(registry.snapshot()) {}
+
+  /// Increments between construction and now.
+  [[nodiscard]] Snapshot delta() const { return registry_.snapshot().delta_since(start_); }
+  /// The raw starting snapshot.
+  [[nodiscard]] const Snapshot& start() const { return start_; }
+
+ private:
+  const Registry& registry_;
+  Snapshot start_;
 };
 
 }  // namespace idgka::obs

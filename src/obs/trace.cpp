@@ -154,6 +154,14 @@ void dump_to_stderr() {
   std::fputs("\n=== obs flight recorder (last events, oldest first) ===\n", stderr);
   std::fputs(dump.c_str(), stderr);
   std::fputs("=== end flight recorder ===\n", stderr);
+  // Machine-readable companion: IDGKA_OBS_CRASH_JSON names a file that
+  // receives the full ring contents as Chrome trace JSON on the way down —
+  // what a human reads on stderr, tooling reads from here (trace_report
+  // accepts it directly; the crash-dump death test validates it parses).
+  const char* json_path = std::getenv("IDGKA_OBS_CRASH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    export_chrome_trace_file(json_path);
+  }
 }
 
 [[noreturn]] void terminate_with_dump() {
@@ -204,6 +212,15 @@ const bool g_env_enable = [] {
   const char* v = std::getenv("IDGKA_OBS_TRACE");
   if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
     set_trace_enabled(true);
+  }
+  // IDGKA_OBS_TRACE_FILE=<path> enables tracing AND exports the recorded
+  // trace to <path> at normal process exit — any example or test becomes a
+  // trace producer for tools/trace_report without code changes.
+  const char* path = std::getenv("IDGKA_OBS_TRACE_FILE");
+  if (path != nullptr && path[0] != '\0') {
+    set_trace_enabled(true);
+    static const std::string g_trace_path = path;
+    std::atexit([] { export_chrome_trace_file(g_trace_path); });
   }
   return true;
 }();

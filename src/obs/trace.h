@@ -213,6 +213,12 @@ void install_crash_dump();
         ::idgka::obs::Registry::global().histogram(name);                   \
     obs_hist_site.record(static_cast<std::uint64_t>(v));                    \
   } while (0)
+/// Bumps a labeled counter (`base{label}`). The label is resolved on every
+/// call (mutex + map lookup) — rare-path sites only (drops, retries); hot
+/// paths should cache the Counter& from Registry::counter(base, label).
+#define OBS_COUNT_LABELED(base, label, n)                                   \
+  ::idgka::obs::Registry::global().counter(base, label).add(                \
+      static_cast<std::uint64_t>(n))
 
 #else  // IDGKA_OBS == 0
 
@@ -236,6 +242,9 @@ void install_crash_dump();
   } while (0)
 #define OBS_RECORD(name, v) \
   do {                      \
+  } while (0)
+#define OBS_COUNT_LABELED(base, label, n) \
+  do {                                    \
   } while (0)
 
 #endif  // IDGKA_OBS

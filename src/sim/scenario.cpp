@@ -290,7 +290,11 @@ Metrics ScenarioRunner::run() {
     run.flat.emplace(run.authority, cfg_.cluster.scheme, ids, cfg_.seed);
     run.driver.attach(*run.flat);
   } else {
-    run.hier.emplace(run.authority, cfg_.cluster, ids, cfg_.seed);
+    // Label the session's registry counters with the scenario name so
+    // matrix cells running in one process stay distinguishable.
+    cluster::ClusterConfig cluster_cfg = cfg_.cluster;
+    if (cluster_cfg.label.empty()) cluster_cfg.label = cfg_.name;
+    run.hier.emplace(run.authority, std::move(cluster_cfg), ids, cfg_.seed);
     run.driver.attach(*run.hier);
   }
   for (const std::uint32_t id : ids) run.register_node(id);
@@ -367,14 +371,18 @@ struct Group {
         driver(executor, config.driver, config.driver_seed(g)) {
     std::vector<std::uint32_t> ids(cfg.members_per_group);
     for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = map_id(static_cast<std::uint32_t>(i));
+    metrics.scenario = cfg.name + "/g" + std::to_string(g);
     if (cfg.topology == Topology::kFlat) {
       flat.emplace(authority, cfg.cluster.scheme, ids, cfg.session_seed(g));
       driver.attach(*flat);
     } else {
-      hier.emplace(authority, cfg.cluster, ids, cfg.session_seed(g));
+      // Per-group label ("name/gN") so concurrent groups' rekey counters
+      // stay separable in the shared process registry.
+      cluster::ClusterConfig cluster_cfg = cfg.cluster;
+      if (cluster_cfg.label.empty()) cluster_cfg.label = metrics.scenario;
+      hier.emplace(authority, std::move(cluster_cfg), ids, cfg.session_seed(g));
       driver.attach(*hier);
     }
-    metrics.scenario = cfg.name + "/g" + std::to_string(g);
     metrics.topology = cfg.topology == Topology::kFlat ? "flat" : "hierarchical";
     metrics.seed = cfg.seed;
     metrics.members_initial = cfg.members_per_group;

@@ -5,10 +5,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/json_reader.h"
 #include "obs/json_writer.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -152,6 +158,93 @@ TEST(Registry, SnapshotShape) {
   EXPECT_EQ(c.value(), 0U);
   c.add(2);
   EXPECT_EQ(r.counter("a.first").value(), 2U);
+}
+
+TEST(Registry, LabeledInstrumentsAreDistinctAndSorted) {
+  Registry r;
+  r.counter("net.drop", "3->7").add(2);
+  r.counter("net.drop", "1->2").add(1);
+  r.counter("net.drop").add(5);  // unlabeled base coexists
+  r.gauge("depth", "g0").set(4);
+  r.histogram("lat", "leo").record(8);
+  // Same (base, label) -> same instrument.
+  EXPECT_EQ(&r.counter("net.drop", "3->7"), &r.counter("net.drop", "3->7"));
+  EXPECT_NE(&r.counter("net.drop", "3->7"), &r.counter("net.drop", "1->2"));
+  EXPECT_EQ(r.counter("net.drop", "3->7").value(), 2U);
+  // Snapshots carry the full `base{label}` names, sorted like everything
+  // else (deterministic export order).
+  const std::string snap = r.snapshot_json();
+  const std::size_t plain = snap.find("\"net.drop\":5");
+  const std::size_t l12 = snap.find("\"net.drop{1->2}\":1");
+  const std::size_t l37 = snap.find("\"net.drop{3->7}\":2");
+  ASSERT_NE(plain, std::string::npos) << snap;
+  ASSERT_NE(l12, std::string::npos) << snap;
+  ASSERT_NE(l37, std::string::npos) << snap;
+  EXPECT_LT(plain, l12);
+  EXPECT_LT(l12, l37);
+  EXPECT_NE(snap.find("\"depth{g0}\":4"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"lat{leo}\""), std::string::npos) << snap;
+}
+
+TEST(Registry, LabelCardinalityCapCoalescesIntoOverflow) {
+  Registry r;
+  for (int i = 0; i < 300; ++i) {
+    r.counter("burst", "label-" + std::to_string(i)).add(1);
+  }
+  // The family ledger admits kMaxLabelsPerFamily distinct labels; every
+  // label past the cap lands in the shared overflow bucket.
+  EXPECT_EQ(r.counter("burst", "overflow").value(),
+            300U - Registry::kMaxLabelsPerFamily);
+  EXPECT_EQ(r.counter("burst", "label-0").value(), 1U);
+  // A capped family does not leak into other families.
+  r.counter("other", "fresh").add(1);
+  EXPECT_EQ(r.counter("other", "fresh").value(), 1U);
+  EXPECT_EQ(r.counter("other", "overflow").value(), 0U);
+}
+
+TEST(Registry, SnapshotDeltaSubtraction) {
+  Registry r;
+  r.counter("c").add(10);
+  r.counter("gone").add(3);  // unchanged between snapshots
+  r.gauge("g").set(5);
+  r.histogram("h").record(100);
+  std::uint64_t probe_value = 7;
+  r.register_probe("p", [&probe_value] { return probe_value; });
+
+  const obs::Snapshot before = r.snapshot();
+  r.counter("c").add(5);
+  r.counter("fresh").add(2);
+  r.gauge("g").set(9);
+  r.histogram("h").record(300);
+  r.histogram("h").record(500);
+  probe_value = 11;
+  const obs::Snapshot after = r.snapshot();
+
+  const obs::Snapshot d = after.delta_since(before);
+  // Counters/probes subtract; zero deltas are omitted so the delta lists
+  // exactly what the window touched.
+  EXPECT_EQ(d.counters.at("c"), 5U);
+  EXPECT_EQ(d.counters.at("fresh"), 2U);
+  EXPECT_FALSE(d.counters.contains("gone"));
+  EXPECT_EQ(d.probes.at("p"), 4U);
+  // Gauges are levels: the delta reports the later level.
+  EXPECT_EQ(d.gauges.at("g"), 9);
+  // Histograms subtract count/sum and keep the later summary stats.
+  EXPECT_EQ(d.histograms.at("h").count, 2U);
+  EXPECT_EQ(d.histograms.at("h").sum, 800U);
+  EXPECT_EQ(d.histograms.at("h").max, 500U);
+  // The delta serializes through the same deterministic writer.
+  EXPECT_NE(d.to_json().find("\"c\":5"), std::string::npos);
+}
+
+TEST(Registry, ScopedSnapshotDeltaMeasuresOnlyItsWindow) {
+  Registry r;
+  r.counter("work").add(100);  // pre-existing load
+  const obs::ScopedSnapshotDelta guard(r);
+  r.counter("work").add(7);
+  const obs::Snapshot d = guard.delta();
+  EXPECT_EQ(d.counters.at("work"), 7U);
+  EXPECT_EQ(guard.start().counters.at("work"), 100U);
 }
 
 #if IDGKA_OBS
@@ -318,6 +411,63 @@ TEST(Registry, AbsorbsLayerCountersDuringAScenario) {
   const std::size_t pos = snap.find("\"crypto.exps\":");
   ASSERT_NE(pos, std::string::npos);
   EXPECT_NE(snap[pos + 14], '0');  // prime generation alone costs exps
+}
+
+TEST(Registry, LabeledDimensionsAppearDuringAScenario) {
+  Registry& r = Registry::global();
+  r.reset();
+  const sim::Metrics metrics = sim::ScenarioRunner(obs_scenario()).run();
+  ASSERT_TRUE(metrics.form_success);
+  const std::string snap = r.snapshot_json();
+  // ScenarioRunner labels the hierarchical session with the scenario name,
+  // so the cluster counters carry a per-group dimension...
+  EXPECT_NE(snap.find("\"cluster.rekeys{obs-trace}\":"), std::string::npos) << snap;
+  // ...the engine labels resumes per run...
+  EXPECT_NE(snap.find("\"engine.resumes{"), std::string::npos) << snap;
+  // ...and the bursty link produces per-link drop counters.
+  EXPECT_NE(snap.find("\"net.drop{"), std::string::npos) << snap;
+}
+
+// The crash-dump contract: an uncaught exception reaches the terminate
+// handler installed by install_crash_dump(), which prints the flight
+// recorder to stderr AND — when IDGKA_OBS_CRASH_JSON names a file — leaves
+// the same events behind as Chrome trace JSON. The child dies; the parent
+// validates the artifact parses and holds the pre-crash events.
+
+// Thrown from a noexcept frame so the exception is genuinely uncaught:
+// gtest wraps the death statement in a try/catch that would otherwise
+// intercept it before std::terminate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wterminate"
+[[noreturn]] void throw_uncaught() noexcept { throw std::runtime_error("uncaught on purpose"); }
+#pragma GCC diagnostic pop
+
+TEST(TraceCrashDumpDeathTest, UncaughtExceptionDumpsStderrBannerAndValidJson) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = testing::TempDir() + "obs_crash_dump.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("IDGKA_OBS_CRASH_JSON", path.c_str(), 1), 0);
+  EXPECT_DEATH(
+      {
+        obs::clear();
+        obs::set_trace_enabled(true);  // installs the crash-dump handlers
+        obs::set_thread_track("doomed");
+        OBS_INSTANT("crash.prelude", "test");
+        { OBS_SPAN("crash.scope", "test"); }
+        throw_uncaught();
+      },
+      "obs flight recorder");
+  unsetenv("IDGKA_OBS_CRASH_JSON");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "crash handler did not write " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NO_THROW((void)obs::json::parse(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("crash.prelude"), std::string::npos);
+  EXPECT_NE(text.find("crash.scope"), std::string::npos);
 }
 
 #endif  // IDGKA_OBS

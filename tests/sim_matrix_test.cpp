@@ -1,0 +1,263 @@
+// Scenario-matrix runner: cell coverage, same-seed determinism, scoped
+// registry deltas and the baseline comparison thresholds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.h"
+#include "obs/registry.h"
+#include "sim/matrix.h"
+
+namespace idgka {
+namespace {
+
+using obs::json::JsonValue;
+using sim::ChurnLevel;
+using sim::CompareResult;
+using sim::CompareThresholds;
+using sim::LinkClass;
+using sim::MatrixConfig;
+using sim::MatrixReport;
+using sim::MatrixRunner;
+
+/// Test-sized sweep that still spans every axis the issue cares about:
+/// 2 topologies x 3 link classes (manet/leo/geo) x 2 loss models x 1 churn
+/// level = 12 cells.
+MatrixConfig small_config() {
+  MatrixConfig cfg;
+  cfg.name = "matrix-test";
+  cfg.seed = 77;
+  cfg.members = 8;
+  cfg.duration_us = 90 * sim::kUsPerSec;
+  cfg.loss_models = {{"clean", 0.0, false}, {"bursty10", 0.10, true}};
+  cfg.churn_levels = {{"calm", 2}};
+  return cfg;
+}
+
+TEST(Matrix, SweepCoversEveryCellAndConverges) {
+  obs::Registry::global().reset();
+  const MatrixReport report = MatrixRunner(small_config()).run();
+  ASSERT_EQ(report.cells.size(), 12U);  // 2 topo x 3 link x 2 loss x 1 churn
+  std::set<std::string> ids;
+  for (const sim::MatrixCell& cell : report.cells) {
+    ids.insert(cell.id);
+    EXPECT_EQ(cell.id, cell.topology + "/" + cell.link_class + "/" + cell.loss_model + "/" +
+                           cell.churn);
+    // Every environment — including GEO at ~250 ms with bursty loss — must
+    // still form a group and agree on the key.
+    EXPECT_TRUE(cell.metrics.form_success) << cell.id;
+    EXPECT_TRUE(cell.metrics.all_members_agree) << cell.id;
+    EXPECT_GT(cell.latency_p50_us, 0U) << cell.id;
+    EXPECT_LE(cell.latency_p50_us, cell.latency_p90_us) << cell.id;
+    EXPECT_LE(cell.latency_p90_us, cell.latency_p99_us) << cell.id;
+    EXPECT_LE(cell.latency_p99_us, cell.latency_max_us) << cell.id;
+  }
+  EXPECT_EQ(ids.size(), report.cells.size());  // ids are unique
+  // Propagation delay dominates op latency: the same sweep under GEO must
+  // be slower than under MANET (the comparative claim the matrix exists
+  // to surface).
+  const auto p50 = [&](const std::string& id) {
+    for (const sim::MatrixCell& cell : report.cells) {
+      if (cell.id == id) return cell.latency_p50_us;
+    }
+    ADD_FAILURE() << "no cell " << id;
+    return sim::SimTime{0};
+  };
+  EXPECT_LT(p50("flat/manet/clean/calm"), p50("flat/geo/clean/calm"));
+
+#if IDGKA_OBS
+  // The scoped delta attributes labeled increments to the cell that caused
+  // them: hierarchical cells carry per-group rekey labels, lossy cells
+  // carry per-link drop counters.
+  bool saw_labeled_rekey = false;
+  bool saw_labeled_drop = false;
+  for (const sim::MatrixCell& cell : report.cells) {
+    for (const auto& [name, v] : cell.delta.counters) {
+      if (name.rfind("cluster.rekeys{", 0) == 0 && cell.topology == "hier") {
+        saw_labeled_rekey = true;
+        // The label is this cell's scenario, not another cell's.
+        EXPECT_NE(name.find(cell.id), std::string::npos) << name << " in " << cell.id;
+      }
+      if (name.rfind("net.drop{", 0) == 0) {
+        saw_labeled_drop = true;
+        EXPECT_NE(cell.loss_model, "clean") << name << " leaked into " << cell.id;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_labeled_rekey);
+  EXPECT_TRUE(saw_labeled_drop);
+#endif
+}
+
+TEST(Matrix, SameSeedReportIsByteIdentical) {
+  // The registry is process-global and histogram summaries are cumulative,
+  // so run-twice determinism is defined over a reset registry (the CI
+  // smoke job gets it for free: fresh process per run).
+  obs::Registry::global().reset();
+  const std::string first = MatrixRunner(small_config()).run().to_json();
+  obs::Registry::global().reset();
+  const std::string second = MatrixRunner(small_config()).run().to_json();
+  EXPECT_EQ(first, second);
+
+  // And the JSON is a parseable report with the full cell set.
+  const JsonValue doc = obs::json::parse(first);
+  EXPECT_EQ(doc.at("matrix").as_string(), "matrix-test");
+  EXPECT_EQ(doc.at("seed").as_uint(), 77U);
+  ASSERT_EQ(doc.at("cells").as_array().size(), 12U);
+  const JsonValue& cell = doc.at("cells").as_array().front();
+  EXPECT_TRUE(cell.at("latency").at("p50_us").is_number());
+  EXPECT_TRUE(cell.at("metrics").at("rekeys").at("convergence").is_number());
+  EXPECT_TRUE(cell.at("delta").is_object());
+}
+
+TEST(Matrix, MarkdownListsEveryCell) {
+  obs::Registry::global().reset();
+  const MatrixReport report = MatrixRunner(small_config()).run();
+  const std::string md = report.to_markdown();
+  EXPECT_NE(md.find("| cell |"), std::string::npos);
+  for (const sim::MatrixCell& cell : report.cells) {
+    EXPECT_NE(md.find("| " + cell.id + " |"), std::string::npos) << cell.id;
+  }
+}
+
+TEST(Matrix, ChurnTraceIsDeterministicAndOrdered) {
+  const MatrixConfig cfg = small_config();
+  const ChurnLevel level{"churny", 8};
+  const std::vector<sim::TraceEvent> a = MatrixRunner::churn_trace(level, cfg);
+  const std::vector<sim::TraceEvent> b = MatrixRunner::churn_trace(level, cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_us, b[i].at_us);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].ids, b[i].ids);
+  }
+  // Events land strictly inside the scenario window, in time order.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GT(a[i].at_us, 0U);
+    EXPECT_LT(a[i].at_us, cfg.duration_us);
+    if (i > 0) EXPECT_GE(a[i].at_us, a[i - 1].at_us);
+  }
+  // A calmer level generates fewer events.
+  EXPECT_GT(a.size(), MatrixRunner::churn_trace({"calm", 2}, cfg).size());
+}
+
+// ------------------------------------------------------- baseline compare
+//
+// compare() unit tests run on hand-built report JSON so every threshold
+// edge is exact; the self-comparison test below covers the real shape.
+
+std::string report_doc(const std::vector<std::string>& cells) {
+  std::string out = R"({"matrix":"t","seed":1,"members":8,"cells":[)";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    out += cells[i];
+  }
+  return out + "]}";
+}
+
+std::string cell_doc(const std::string& id, std::uint64_t p50, std::uint64_t p90,
+                     std::uint64_t p99, std::uint64_t dropped, double convergence,
+                     std::uint64_t retries) {
+  std::string delta = retries == 0
+                          ? std::string(R"({"counters":{}})")
+                          : R"({"counters":{"cluster.rekey_retries":)" + std::to_string(retries) +
+                                "}}";
+  return R"({"id":")" + id + R"(","latency":{"p50_us":)" + std::to_string(p50) +
+         R"(,"p90_us":)" + std::to_string(p90) + R"(,"p99_us":)" + std::to_string(p99) +
+         R"(,"max_us":)" + std::to_string(p99) + R"(},"metrics":{"air":{"copies_dropped":)" +
+         std::to_string(dropped) + R"(},"rekeys":{"convergence":)" + std::to_string(convergence) +
+         R"(}},"delta":)" + delta + "}";
+}
+
+TEST(MatrixCompare, IdenticalReportsPass) {
+  const JsonValue doc =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 20'000, 30'000, 100, 1.0, 5)}));
+  const CompareResult r = sim::compare(doc, doc);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.missing_cells.empty());
+  EXPECT_TRUE(r.new_cells.empty());
+}
+
+TEST(MatrixCompare, LatencyGrowthBeyondSlackAndPctRegresses) {
+  const JsonValue base =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 20'000, 30'000, 0, 1.0, 0)}));
+  // p90 +30% (and +6 ms, beyond the 2 ms slack) with default 10% threshold.
+  const JsonValue cur =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 26'000, 30'000, 0, 1.0, 0)}));
+  const CompareResult r = sim::compare(base, cur);
+  ASSERT_EQ(r.regressions.size(), 1U);
+  EXPECT_EQ(r.regressions[0].cell, "c1");
+  EXPECT_EQ(r.regressions[0].field, "p90_us");
+  EXPECT_DOUBLE_EQ(r.regressions[0].baseline, 20'000.0);
+  EXPECT_DOUBLE_EQ(r.regressions[0].current, 26'000.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.to_markdown().find("p90_us"), std::string::npos);
+}
+
+TEST(MatrixCompare, SlackAbsorbsSmallAbsoluteGrowth) {
+  // +1.5 ms on p50 is a 15% jump but sits inside the 2 ms absolute slack —
+  // percentage thresholds must not fire on tiny baselines.
+  const JsonValue base =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 20'000, 30'000, 0, 1.0, 0)}));
+  const JsonValue cur =
+      obs::json::parse(report_doc({cell_doc("c1", 11'500, 20'000, 30'000, 0, 1.0, 0)}));
+  EXPECT_TRUE(sim::compare(base, cur).ok());
+}
+
+TEST(MatrixCompare, CounterAndConvergenceRegressions) {
+  const JsonValue base =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 20'000, 30'000, 100, 1.0, 2)}));
+  // Drops +30% (> 25% and > slack 4), retries 2 -> 12, convergence 1 -> 0.5.
+  const JsonValue cur =
+      obs::json::parse(report_doc({cell_doc("c1", 10'000, 20'000, 30'000, 130, 0.5, 12)}));
+  const CompareResult r = sim::compare(base, cur);
+  std::set<std::string> fields;
+  for (const sim::Regression& reg : r.regressions) fields.insert(reg.field);
+  EXPECT_TRUE(fields.contains("copies_dropped"));
+  EXPECT_TRUE(fields.contains("cluster.rekey_retries"));
+  EXPECT_TRUE(fields.contains("convergence"));
+}
+
+TEST(MatrixCompare, MissingCellFailsNewCellDoesNot) {
+  const JsonValue base = obs::json::parse(report_doc(
+      {cell_doc("c1", 1000, 2000, 3000, 0, 1.0, 0), cell_doc("c2", 1000, 2000, 3000, 0, 1.0, 0)}));
+  const JsonValue cur = obs::json::parse(report_doc(
+      {cell_doc("c1", 1000, 2000, 3000, 0, 1.0, 0), cell_doc("c3", 1000, 2000, 3000, 0, 1.0, 0)}));
+  const CompareResult r = sim::compare(base, cur);
+  ASSERT_EQ(r.missing_cells, (std::vector<std::string>{"c2"}));
+  ASSERT_EQ(r.new_cells, (std::vector<std::string>{"c3"}));
+  EXPECT_FALSE(r.ok());  // a vanished cell is a regression...
+  const CompareResult only_new = sim::compare(
+      obs::json::parse(report_doc({cell_doc("c1", 1000, 2000, 3000, 0, 1.0, 0)})), cur);
+  EXPECT_TRUE(only_new.ok());  // ...a new cell is not
+}
+
+TEST(MatrixCompare, RejectsNonReportDocuments) {
+  const JsonValue report =
+      obs::json::parse(report_doc({cell_doc("c1", 1000, 2000, 3000, 0, 1.0, 0)}));
+  EXPECT_THROW((void)sim::compare(obs::json::parse(R"({"bench":"x"})"), report),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::compare(report, obs::json::parse("[]")), std::invalid_argument);
+}
+
+TEST(MatrixCompare, RealReportSelfComparisonPasses) {
+  obs::Registry::global().reset();
+  MatrixConfig cfg = small_config();
+  // Single-cell sweep: this test exercises shape compatibility between
+  // MatrixReport::to_json() and compare(), not the full matrix again.
+  cfg.topologies = {sim::Topology::kHierarchical};
+  cfg.link_classes = {LinkClass::manet()};
+  cfg.loss_models = {{"bursty10", 0.10, true}};
+  const JsonValue doc = obs::json::parse(MatrixRunner(cfg).run().to_json());
+  const CompareResult r = sim::compare(doc, doc, CompareThresholds{});
+  EXPECT_TRUE(r.ok()) << r.to_markdown();
+  EXPECT_TRUE(r.new_cells.empty());
+}
+
+}  // namespace
+}  // namespace idgka

@@ -1,0 +1,73 @@
+// trace_report: latency attribution and critical paths from an exported
+// Chrome trace.
+//
+// Usage:
+//   trace_report <trace.json> [--json] [--top N]
+//
+// Reads a trace exported by obs::export_chrome_trace_file (any build — the
+// sim examples export one when IDGKA_OBS_TRACE_FILE is set, tests via
+// obs_test fixtures) and prints the analysis: per-layer latency
+// attribution, per-operation summaries with critical paths, and the top-N
+// slowest spans. Markdown by default; --json emits the deterministic JSON
+// report instead. Exits non-zero on unreadable or malformed input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: trace_report <trace.json> [--json] [--top N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool as_json = false;
+  std::size_t top_k = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "trace_report: cannot read %s\n", path);
+    return 1;
+  }
+  try {
+    const idgka::obs::analysis::Report report = idgka::obs::analysis::analyze(text, top_k);
+    std::cout << (as_json ? report.to_json() : report.to_markdown()) << "\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s: %s\n", path, e.what());
+    return 1;
+  }
+  return 0;
+}
