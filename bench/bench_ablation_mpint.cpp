@@ -47,6 +47,7 @@ struct CryptoRow {
   double table_build_us = 0.0; // one-time comb precomputation
   std::size_t table_kib = 0;
   unsigned teeth = 0;
+  std::uint64_t ctx_mod_muls_op = 0;  // deterministic mod-mul count per ctx.exp
 
   [[nodiscard]] double speedup_ctx() const { return shim_us / ctx_us; }
   [[nodiscard]] double speedup_fixed() const { return shim_us / fixed_us; }
@@ -112,6 +113,73 @@ CryptoRow run_comparison(std::size_t bits, int iters, int reps) {
                  bits);
     std::exit(2);
   }
+
+  // Deterministic cost model: the counter delta for one windowed exp.
+  const mpint::OpCounts c0 = mpint::op_counts();
+  sink = ctx.exp(g, exps.back());
+  benchmark::DoNotOptimize(sink);
+  row.ctx_mod_muls_op = mpint::op_counts().mod_muls - c0.mod_muls;
+  return row;
+}
+
+// ------------------------------------------------------------------------
+// Multi-exponentiation: joint evaluation vs a chain of independent exps.
+// ------------------------------------------------------------------------
+
+struct MultiExpRow {
+  const char* engine = "";  // "straus" (interleaved) or "pippenger" (buckets)
+  std::size_t arity = 0;
+  double seq_us = 0.0;    // prod of arity independent ctx.exp calls
+  double joint_us = 0.0;  // one ctx.multi_exp call
+  std::uint64_t seq_mod_muls = 0;    // deterministic counts for one op
+  std::uint64_t joint_mod_muls = 0;
+
+  [[nodiscard]] double speedup() const { return seq_us / joint_us; }
+};
+
+MultiExpRow run_multi_exp(const char* engine, std::size_t arity, std::size_t mod_bits,
+                          std::size_t exp_bits, int iters, int reps) {
+  MultiExpRow row;
+  row.engine = engine;
+  row.arity = arity;
+  const BigInt m = random_odd(mod_bits, 11);
+  hash::HmacDrbg rng(12, "multi-exp");
+  const mpint::ModContext ctx(m);
+  std::vector<BigInt> bases(arity);
+  std::vector<BigInt> exps(arity);
+  for (BigInt& b : bases) b = mpint::random_below(rng, m);
+  for (BigInt& e : exps) e = mpint::random_bits(rng, exp_bits);
+
+  const auto sequential = [&] {
+    BigInt acc = ctx.exp(bases[0], exps[0]);
+    for (std::size_t t = 1; t < arity; ++t) acc = ctx.mul(acc, ctx.exp(bases[t], exps[t]));
+    return acc;
+  };
+
+  BigInt sink;
+  row.seq_us = best_of(reps, iters, [&] {
+    for (int i = 0; i < iters; ++i) sink = sequential();
+    benchmark::DoNotOptimize(sink);
+  });
+  row.joint_us = best_of(reps, iters, [&] {
+    for (int i = 0; i < iters; ++i) sink = ctx.multi_exp(bases, exps);
+    benchmark::DoNotOptimize(sink);
+  });
+
+  // Deterministic mod-mul counts for one op of each flavour, and the
+  // equivalence cross-check that makes the wall-clock race meaningful.
+  const mpint::OpCounts c0 = mpint::op_counts();
+  const BigInt seq = sequential();
+  const mpint::OpCounts c1 = mpint::op_counts();
+  const BigInt joint = ctx.multi_exp(bases, exps);
+  const mpint::OpCounts c2 = mpint::op_counts();
+  row.seq_mod_muls = c1.mod_muls - c0.mod_muls;
+  row.joint_mod_muls = c2.mod_muls - c1.mod_muls;
+  if (seq != joint) {
+    std::fprintf(stderr, "FATAL: multi_exp disagrees with sequential exps at arity %zu\n",
+                 arity);
+    std::exit(2);
+  }
   return row;
 }
 
@@ -129,24 +197,53 @@ int run_crypto_bench() {
                 r.table_kib);
   }
 
+  std::printf("\n=== Joint multi-exponentiation vs sequential exp chains ===\n");
+  std::printf("%-10s %6s %12s %12s %9s %10s %11s\n", "engine", "arity", "seq us/op",
+              "joint us/op", "joint x", "seq muls", "joint muls");
+  std::vector<MultiExpRow> multi;
+  multi.push_back(run_multi_exp("straus", 4, 1024, 256, 16, 5));
+  multi.push_back(run_multi_exp("pippenger", 32, 1024, 256, 4, 5));
+  for (const MultiExpRow& r : multi) {
+    std::printf("%-10s %6zu %12.1f %12.1f %8.2fx %10llu %11llu\n", r.engine, r.arity,
+                r.seq_us, r.joint_us, r.speedup(),
+                static_cast<unsigned long long>(r.seq_mod_muls),
+                static_cast<unsigned long long>(r.joint_mod_muls));
+  }
+
   std::ofstream out("BENCH_crypto.json");
   out << "{\"bench\":\"crypto_context\",\"runs\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const CryptoRow& r = rows[i];
     if (i > 0) out << ',';
-    char buf[320];
+    char buf[360];
     std::snprintf(buf, sizeof buf,
                   "{\"bits\":%zu,\"shim_us_op\":%.2f,\"ctx_us_op\":%.2f,"
                   "\"fixed_base_us_op\":%.2f,\"speedup_ctx\":%.2f,"
                   "\"speedup_fixed_base\":%.2f,\"comb_teeth\":%u,"
-                  "\"table_kib\":%zu,\"table_build_us\":%.1f}",
+                  "\"table_kib\":%zu,\"table_build_us\":%.1f,"
+                  "\"ctx_mod_muls_op\":%llu}",
                   r.bits, r.shim_us, r.ctx_us, r.fixed_us, r.speedup_ctx(),
-                  r.speedup_fixed(), r.teeth, r.table_kib, r.table_build_us);
+                  r.speedup_fixed(), r.teeth, r.table_kib, r.table_build_us,
+                  static_cast<unsigned long long>(r.ctx_mod_muls_op));
+    out << buf;
+  }
+  out << "],\"multi_exp\":[";
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    const MultiExpRow& r = multi[i];
+    if (i > 0) out << ',';
+    char buf[280];
+    std::snprintf(buf, sizeof buf,
+                  "{\"engine\":\"%s\",\"arity\":%zu,\"seq_us_op\":%.1f,"
+                  "\"joint_us_op\":%.1f,\"speedup\":%.2f,"
+                  "\"seq_mod_muls\":%llu,\"joint_mod_muls\":%llu}",
+                  r.engine, r.arity, r.seq_us, r.joint_us, r.speedup(),
+                  static_cast<unsigned long long>(r.seq_mod_muls),
+                  static_cast<unsigned long long>(r.joint_mod_muls));
     out << buf;
   }
   out << "]}\n";
   out.close();
-  std::printf("\nwrote BENCH_crypto.json (%zu rows)\n", rows.size());
+  std::printf("\nwrote BENCH_crypto.json (%zu + %zu rows)\n", rows.size(), multi.size());
 
   const double gate = rows.back().speedup_fixed();
   if (gate < 2.5) {
@@ -154,6 +251,18 @@ int run_crypto_bench() {
     return 1;
   }
   std::printf("1024-bit fixed-base speedup %.2fx >= 2.5x acceptance bar\n", gate);
+  if (multi[0].speedup() < 1.5) {
+    std::printf("FAILED: arity-4 joint multi-exp %.2fx < 1.5x acceptance bar\n",
+                multi[0].speedup());
+    return 1;
+  }
+  std::printf("arity-4 joint multi-exp %.2fx >= 1.5x acceptance bar\n", multi[0].speedup());
+  if (multi[1].speedup() < 2.0) {
+    std::printf("FAILED: width-32 bucket multi-exp %.2fx < 2x acceptance bar\n",
+                multi[1].speedup());
+    return 1;
+  }
+  std::printf("width-32 bucket multi-exp %.2fx >= 2x acceptance bar\n", multi[1].speedup());
   return 0;
 }
 

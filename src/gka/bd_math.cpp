@@ -19,24 +19,25 @@ BigInt compute_key(const GroupCtx& grp, std::span<const BigInt> z,
   }
   const mpint::ModContext& mp = grp.p;
 
-  // K = z_{i-1}^{n r_i} * prod_{j=0}^{n-2} X_{i+j}^{n-1-j}
-  // The product is accumulated as prod of running prefixes:
-  //   prod_j prod_{k<=j} X_{i+k} = prod_k X_{i+k}^{n-1-k}.
-  const BigInt exponent = (BigInt{static_cast<std::uint64_t>(n)} * r).mod(grp.q);
-  BigInt key = mp.exp(z[(index + n - 1) % n], exponent);
-  BigInt prefix{1};
+  // K = z_{i-1}^{n r_i} * prod_{j=0}^{n-2} X_{i+j}^{n-1-j}, evaluated as one
+  // joint multi-exponentiation: the z term is the lone wide exponent, the
+  // X powers are tiny integers (n-1 down to 1) that Pippenger bucketing
+  // absorbs almost for free.
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  bases.reserve(n);
+  exps.reserve(n);
+  bases.push_back(z[(index + n - 1) % n]);
+  exps.push_back((BigInt{static_cast<std::uint64_t>(n)} * r).mod(grp.q));
   for (std::size_t j = 0; j + 1 < n; ++j) {
-    prefix = mp.mul(prefix, x[(index + j) % n]);
-    key = mp.mul(key, prefix);
+    bases.push_back(x[(index + j) % n]);
+    exps.push_back(BigInt{static_cast<std::uint64_t>(n - 1 - j)});
   }
-  return key;
+  return mp.multi_exp(bases, exps);
 }
 
 bool lemma1_holds(const GroupCtx& grp, std::span<const BigInt> x) {
-  const mpint::ModContext& mp = grp.p;
-  BigInt prod{1};
-  for (const BigInt& xi : x) prod = mp.mul(prod, xi);
-  return prod.is_one();
+  return grp.p.product(x).is_one();
 }
 
 BigInt direct_key(const GroupCtx& grp, std::span<const BigInt> r) {

@@ -428,12 +428,16 @@ RunResult run_departure(const SystemParams& params, std::span<MemberCtx> members
     m.ledger.record(Op::kModExp);
     locals[k].x = bd::compute_x(params.group(), z_next, z_prev, m.r);
 
-    BigInt z_prod{1};
-    BigInt t_prod{1};
+    std::vector<BigInt> z_vals;
+    std::vector<BigInt> t_vals;
+    z_vals.reserve(m_count);
+    t_vals.reserve(m_count);
     for (const std::uint32_t id : survivors) {
-      z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
-      t_prod = params.ctx_n->mul(t_prod, m.t_map.at(id));
+      z_vals.push_back(m.z_map.at(id));
+      t_vals.push_back(m.t_map.at(id));
     }
+    const BigInt z_prod = params.ctx_p->product(z_vals);
+    const BigInt t_prod = params.ctx_n->product(t_vals);
     locals[k].z_prod = z_prod;
     locals[k].c = sig::gq_challenge(t_prod.to_bytes_be(), z_prod.to_bytes_be());
     m.ledger.record(Op::kSignGenGq);

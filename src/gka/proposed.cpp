@@ -104,14 +104,16 @@ RunResult run_proposed(const SystemParams& params, std::span<MemberCtx> members,
     m.ledger.record(Op::kModExp);  // X_i
     locals[idx].x = bd::compute_x(grp, z_next, z_prev, m.r);
 
-    BigInt z_prod{1};
+    std::vector<BigInt> z_vals;
+    std::vector<BigInt> t_vals;
+    z_vals.reserve(n);
+    t_vals.reserve(n);
     for (const std::uint32_t id : ring) {
-      z_prod = params.ctx_p->mul(z_prod, m.z_map.at(id));
+      z_vals.push_back(m.z_map.at(id));
+      t_vals.push_back(m.t_map.at(id));
     }
-    BigInt t_prod{1};
-    for (const std::uint32_t id : ring) {
-      t_prod = params.ctx_n->mul(t_prod, m.t_map.at(id));
-    }
+    const BigInt z_prod = params.ctx_p->product(z_vals);
+    const BigInt t_prod = params.ctx_n->product(t_vals);
     locals[idx].z_prod = z_prod;
     locals[idx].c = sig::gq_challenge(t_prod.to_bytes_be(), z_prod.to_bytes_be());
 

@@ -1,5 +1,6 @@
 #include "mpint/mod_context.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -14,6 +15,7 @@ using Limb = BigInt::Limb;
 
 std::atomic<std::uint64_t> g_exps{0};
 std::atomic<std::uint64_t> g_mod_muls{0};
+std::atomic<std::uint64_t> g_multi_exps{0};
 
 // -n^{-1} mod 2^64 via Newton iteration (n odd).
 Limb neg_inv64(Limb n) {
@@ -66,7 +68,8 @@ std::pair<T, bool> scan_windows(const BigInt& e, unsigned w, const std::vector<T
 
 OpCounts op_counts() {
   return OpCounts{g_exps.load(std::memory_order_relaxed),
-                  g_mod_muls.load(std::memory_order_relaxed)};
+                  g_mod_muls.load(std::memory_order_relaxed),
+                  g_multi_exps.load(std::memory_order_relaxed)};
 }
 
 #if IDGKA_OBS
@@ -78,6 +81,8 @@ const bool g_crypto_probes = [] {
       "crypto.exps", [] { return g_exps.load(std::memory_order_relaxed); });
   obs::Registry::global().register_probe(
       "crypto.mod_muls", [] { return g_mod_muls.load(std::memory_order_relaxed); });
+  obs::Registry::global().register_probe(
+      "crypto.multi_exps", [] { return g_multi_exps.load(std::memory_order_relaxed); });
   return true;
 }();
 }  // namespace
@@ -196,29 +201,63 @@ BigInt ModContext::inv(const BigInt& a) const { return mod_inverse(a, n_); }
 BigInt ModContext::exp_mont(const BigInt& base, const BigInt& e, std::uint64_t& muls) const {
   const std::size_t bits = e.bit_length();
   if (bits == 0) return BigInt{1}.mod(n_);
+  return from_mont(exp_mont_core(to_mont(base, muls), e, muls), muls);
+}
 
-  // Precompute base^0..base^(2^w - 1) in Montgomery form.
+std::vector<Limb> ModContext::exp_mont_core(const std::vector<Limb>& base_m, const BigInt& e,
+                                            std::uint64_t& muls) const {
+  const std::size_t bits = e.bit_length();
+  if (bits == 0) return one_mont_;
+
+  // Sliding-window exponentiation over odd powers only: the table holds
+  // base^1, base^3, ..., base^(2^w - 1), which halves the precompute cost
+  // versus a full 2^w table, and windows are anchored on set bits so runs
+  // of zeros cost squarings alone.
   const unsigned w = fit_window(window_, bits);
-  std::vector<std::vector<Limb>> table(std::size_t{1} << w);
-  table[0] = one_mont_;
-  table[1] = to_mont(base, muls);
-  for (std::size_t j = 2; j < table.size(); ++j) {
+  const std::size_t tsize = std::size_t{1} << (w - 1);
+  std::vector<std::vector<Limb>> odd(tsize);
+  odd[0] = base_m;
+  if (tsize > 1) {
     ++muls;
-    table[j] = mont_mul(table[j - 1], table[1]);
+    const std::vector<Limb> sq = mont_mul(odd[0], odd[0]);
+    for (std::size_t j = 1; j < tsize; ++j) {
+      ++muls;
+      odd[j] = mont_mul(odd[j - 1], sq);
+    }
   }
 
-  auto [acc, started] = scan_windows(
-      e, w, table,
-      [&](const std::vector<Limb>& a) {
+  std::vector<Limb> acc;
+  bool started = false;
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(bits) - 1;
+  while (i >= 0) {
+    if (!e.bit(static_cast<std::size_t>(i))) {
+      ++muls;
+      acc = mont_mul(acc, acc);
+      --i;
+      continue;
+    }
+    // Longest window of at most w bits ending on a set bit: [j, i].
+    std::ptrdiff_t j = i - static_cast<std::ptrdiff_t>(w) + 1;
+    if (j < 0) j = 0;
+    while (!e.bit(static_cast<std::size_t>(j))) ++j;
+    std::size_t digit = 0;
+    for (std::ptrdiff_t b = i; b >= j; --b) {
+      digit = (digit << 1) | (e.bit(static_cast<std::size_t>(b)) ? 1U : 0U);
+    }
+    if (started) {
+      for (std::ptrdiff_t b = i; b >= j; --b) {
         ++muls;
-        return mont_mul(a, a);
-      },
-      [&](const std::vector<Limb>& a, const std::vector<Limb>& b) {
-        ++muls;
-        return mont_mul(a, b);
-      });
-  (void)started;  // bits > 0 guarantees the scan started
-  return from_mont(acc, muls);
+        acc = mont_mul(acc, acc);
+      }
+      ++muls;
+      acc = mont_mul(acc, odd[digit >> 1]);
+    } else {
+      acc = odd[digit >> 1];
+      started = true;
+    }
+    i = j - 1;
+  }
+  return acc;
 }
 
 BigInt ModContext::exp_generic(const BigInt& base, const BigInt& e,
@@ -257,6 +296,264 @@ BigInt ModContext::exp(const BigInt& base, const BigInt& e) const {
   std::uint64_t muls = 0;
   BigInt r = exp_any(base, e, muls);
   g_exps.fetch_add(1, std::memory_order_relaxed);
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return r;
+}
+
+namespace {
+
+// Bits [pos, pos + w) of |e| as a window digit.
+std::size_t exp_digit(const BigInt& e, std::size_t pos, unsigned w) {
+  std::size_t digit = 0;
+  for (unsigned b = 0; b < w; ++b) {
+    if (e.bit(pos + b)) digit |= std::size_t{1} << b;
+  }
+  return digit;
+}
+
+std::size_t max_exp_bits(std::span<const BigInt* const> exps) {
+  std::size_t bits = 0;
+  for (const BigInt* e : exps) bits = std::max(bits, e->bit_length());
+  return bits;
+}
+
+}  // namespace
+
+// Shamir/Straus interleaved joint exponentiation: one shared squaring chain
+// over the widest exponent, with a per-base window table. Per window
+// position: w squarings plus at most one table multiply per base.
+std::vector<Limb> ModContext::straus_mont(std::span<const std::vector<Limb>* const> bases,
+                                          std::span<const BigInt* const> exps,
+                                          std::uint64_t& muls) const {
+  const std::size_t arity = bases.size();
+  if (arity == 1) return exp_mont_core(*bases[0], *exps[0], muls);
+  const std::size_t bits = max_exp_bits(exps);
+  const unsigned w = fit_window(window_, bits);
+  const std::size_t windows = (bits + w - 1) / w;
+
+  // tables[t][j] = base_t^j (j >= 1) in the Montgomery domain, built lazily
+  // up to the largest window digit that exponent actually produces — a term
+  // with a short or sparse exponent pays only for the powers it uses.
+  std::vector<std::vector<std::vector<Limb>>> tables(arity);
+  for (std::size_t t = 0; t < arity; ++t) {
+    std::size_t max_digit = 0;
+    for (std::size_t win = 0; win < windows; ++win) {
+      max_digit = std::max(max_digit, exp_digit(*exps[t], win * w, w));
+    }
+    auto& table = tables[t];
+    table.resize(max_digit + 1);
+    if (max_digit >= 1) table[1] = *bases[t];
+    for (std::size_t j = 2; j < table.size(); ++j) {
+      ++muls;
+      table[j] = mont_mul(table[j - 1], table[1]);
+    }
+  }
+
+  std::vector<Limb> acc;
+  bool started = false;
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started) {
+      for (unsigned s = 0; s < w; ++s) {
+        ++muls;
+        acc = mont_mul(acc, acc);
+      }
+    }
+    for (std::size_t t = 0; t < arity; ++t) {
+      const std::size_t digit = exp_digit(*exps[t], win * w, w);
+      if (digit == 0) continue;
+      if (started) {
+        ++muls;
+        acc = mont_mul(acc, tables[t][digit]);
+      } else {
+        acc = tables[t][digit];
+        started = true;
+      }
+    }
+  }
+  return started ? acc : one_mont_;
+}
+
+// Pippenger bucket aggregation for wide products: per c-bit window, each
+// base lands in the bucket of its digit, and the window sum
+// prod_j bucket[j]^j falls out of one suffix-product sweep — per-window
+// cost is O(n + 2^c) multiplies instead of O(n * c) squarings.
+std::vector<Limb> ModContext::pippenger_mont(std::span<const std::vector<Limb>* const> bases,
+                                             std::span<const BigInt* const> exps,
+                                             std::uint64_t& muls) const {
+  const std::size_t n = bases.size();
+  const std::size_t bits = max_exp_bits(exps);
+
+  // Window width by direct cost argmin. Per window: ~n bucket fills, up to
+  // min(n, buckets) running-product multiplies, and — because the suffix
+  // sweep must touch every index below the highest occupied bucket — up to
+  // `buckets` window-sum multiplies.
+  unsigned c = 1;
+  std::uint64_t best_cost = ~0ULL;
+  for (unsigned cand = 1; cand <= 16 && (std::size_t{1} << cand) <= 4 * n + 4; ++cand) {
+    const std::uint64_t windows = (bits + cand - 1) / cand;
+    const std::uint64_t buckets = (std::size_t{1} << cand) - 1;
+    const std::uint64_t cost =
+        windows * (n + std::min<std::uint64_t>(n, buckets) + buckets);
+    if (cost < best_cost) {
+      best_cost = cost;
+      c = cand;
+    }
+  }
+
+  const std::size_t windows = (bits + c - 1) / c;
+  std::vector<std::vector<Limb>> bucket(std::size_t{1} << c);
+  std::vector<Limb> acc;
+  bool started = false;
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started) {
+      for (unsigned s = 0; s < c; ++s) {
+        ++muls;
+        acc = mont_mul(acc, acc);
+      }
+    }
+    for (auto& b : bucket) b.clear();
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t digit = exp_digit(*exps[t], win * c, c);
+      if (digit == 0) continue;
+      if (bucket[digit].empty()) {
+        bucket[digit] = *bases[t];
+      } else {
+        ++muls;
+        bucket[digit] = mont_mul(bucket[digit], *bases[t]);
+      }
+    }
+    // prod_j bucket[j]^j == prod of running suffix products.
+    std::vector<Limb> running;
+    std::vector<Limb> wsum;
+    for (std::size_t j = bucket.size(); j-- > 1;) {
+      if (!bucket[j].empty()) {
+        if (running.empty()) {
+          running = bucket[j];
+        } else {
+          ++muls;
+          running = mont_mul(running, bucket[j]);
+        }
+      }
+      if (running.empty()) continue;
+      if (wsum.empty()) {
+        wsum = running;
+      } else {
+        ++muls;
+        wsum = mont_mul(wsum, running);
+      }
+    }
+    if (wsum.empty()) continue;
+    if (started) {
+      ++muls;
+      acc = mont_mul(acc, wsum);
+    } else {
+      acc = std::move(wsum);
+      started = true;
+    }
+  }
+  return started ? acc : one_mont_;
+}
+
+BigInt ModContext::multi_exp(std::span<const BigInt> bases, std::span<const BigInt> exps) const {
+  if (bases.size() != exps.size()) {
+    throw std::invalid_argument("ModContext::multi_exp: bases/exps size mismatch");
+  }
+  std::uint64_t muls = 0;
+  BigInt r;
+  if (!mont_) {
+    // Even-modulus fallback: sequential generic exponentiation.
+    r = BigInt{1}.mod(n_);
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (exps[i].is_zero()) continue;
+      ++muls;
+      r = (r * exp_any(bases[i], exps[i], muls)).mod(n_);
+    }
+  } else {
+    // Terms with negative exponents swap in the inverted base; zero
+    // exponents drop out. Everything else is partitioned by exponent width.
+    std::vector<BigInt> inverted;
+    inverted.reserve(bases.size());
+    std::vector<std::vector<Limb>> mont_bases(bases.size());
+    std::vector<const std::vector<Limb>*> narrow_b, wide_b;
+    std::vector<const BigInt*> narrow_e, wide_e;
+    constexpr std::size_t kNarrowBits = 64;
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (exps[i].is_zero()) continue;
+      const BigInt* e = &exps[i];
+      if (e->negative()) {
+        inverted.push_back(-exps[i]);
+        mont_bases[i] = to_mont(mod_inverse(bases[i], n_), muls);
+        e = &inverted.back();
+      } else {
+        mont_bases[i] = to_mont(bases[i], muls);
+      }
+      if (e->bit_length() <= kNarrowBits) {
+        narrow_b.push_back(&mont_bases[i]);
+        narrow_e.push_back(e);
+      } else {
+        wide_b.push_back(&mont_bases[i]);
+        wide_e.push_back(e);
+      }
+    }
+    std::vector<Limb> acc = one_mont_;
+    bool have = false;
+    for (const bool narrow : {true, false}) {
+      const auto& b = narrow ? narrow_b : wide_b;
+      const auto& e = narrow ? narrow_e : wide_e;
+      if (b.empty()) continue;
+      std::vector<Limb> part = b.size() <= 8 ? straus_mont(b, e, muls)
+                                             : pippenger_mont(b, e, muls);
+      if (have) {
+        ++muls;
+        acc = mont_mul(acc, part);
+      } else {
+        acc = std::move(part);
+        have = true;
+      }
+    }
+    r = from_mont(acc, muls);
+  }
+  g_multi_exps.fetch_add(1, std::memory_order_relaxed);
+  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  return r;
+}
+
+BigInt ModContext::product(std::span<const BigInt> values) const {
+  std::uint64_t muls = 0;
+  BigInt r;
+  if (values.empty()) {
+    r = BigInt{1}.mod(n_);
+  } else if (mont_) {
+    // Conversion-free Montgomery chain: mont_mul over canonical residues
+    // accumulates an R^{-(k-1)} deficit across k factors, cancelled by a
+    // single multiply with R^k (i.e. the Montgomery form of R^{k-1}) — so
+    // a k-term product costs k + O(log k) multiplies, not 2k.
+    const auto canon = [this](const BigInt& v) {
+      std::vector<Limb> l = (!v.negative() && v < n_) ? v.limbs() : v.mod(n_).limbs();
+      l.resize(k_, 0);
+      return l;
+    };
+    std::vector<Limb> acc = canon(values[0]);
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      ++muls;
+      acc = mont_mul(acc, canon(values[i]));
+    }
+    const std::uint64_t deficit = values.size() - 1;
+    if (deficit > 0) {
+      std::vector<Limb> rr = rr_.limbs();
+      rr.resize(k_, 0);
+      const std::vector<Limb> fix = exp_mont_core(rr, BigInt{deficit}, muls);
+      ++muls;
+      acc = mont_mul(acc, fix);
+    }
+    r = BigInt::from_limbs(acc);
+  } else {
+    r = values[0].mod(n_);
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      ++muls;
+      r = (r * values[i]).mod(n_);
+    }
+  }
   g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
   return r;
 }

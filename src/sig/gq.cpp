@@ -1,6 +1,8 @@
 #include "sig/gq.h"
 
+#include <array>
 #include <stdexcept>
+#include <vector>
 
 #include "hash/sha256.h"
 
@@ -86,12 +88,13 @@ bool gq_verify(const GqParams& params, const mpint::ModContext& ctx, std::uint32
     throw std::invalid_argument("gq_verify: context modulus does not match params.n");
   }
   if (sig.s.is_zero() || sig.s >= params.n || sig.s.negative()) return false;
-  // t' = s^e * H(ID)^{-c} mod n
+  // t' = s^e * H(ID)^{-c} mod n, as one joint double exponentiation.
   const BigInt hid = gq_hash_id(params, id);
   BigInt t_prime;
   try {
-    t_prime = ctx.mul(ctx.exp(sig.s, params.e),
-                      ctx.exp(mpint::mod_inverse(hid, params.n), sig.c));
+    const std::array<BigInt, 2> bases{sig.s, mpint::mod_inverse(hid, params.n)};
+    const std::array<BigInt, 2> exps{params.e, sig.c};
+    t_prime = ctx.multi_exp(bases, exps);
   } catch (const std::domain_error&) {
     return false;
   }
@@ -110,19 +113,21 @@ bool gq_batch_verify(const GqParams& params, const mpint::ModContext& ctx,
     throw std::invalid_argument("gq_batch_verify: context modulus does not match params.n");
   }
   if (ids.size() != s_values.size() || ids.empty()) return false;
-  BigInt s_prod{1};
-  BigInt h_prod{1};
+  std::vector<BigInt> h_vals;
+  h_vals.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (s_values[i].is_zero() || s_values[i].negative() || s_values[i] >= params.n) {
       return false;
     }
-    s_prod = ctx.mul(s_prod, s_values[i]);
-    h_prod = ctx.mul(h_prod, gq_hash_id(params, ids[i]));
+    h_vals.push_back(gq_hash_id(params, ids[i]));
   }
+  const BigInt s_prod = ctx.product(s_values);
+  const BigInt h_prod = ctx.product(h_vals);
   BigInt t_prime;
   try {
-    t_prime = ctx.mul(ctx.exp(s_prod, params.e),
-                      ctx.exp(mpint::mod_inverse(h_prod, params.n), c));
+    const std::array<BigInt, 2> bases{s_prod, mpint::mod_inverse(h_prod, params.n)};
+    const std::array<BigInt, 2> exps{params.e, c};
+    t_prime = ctx.multi_exp(bases, exps);
   } catch (const std::domain_error&) {
     return false;
   }

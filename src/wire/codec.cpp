@@ -1,6 +1,7 @@
 #include "wire/codec.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "obs/trace.h"
@@ -17,34 +18,93 @@ constexpr std::uint64_t kMaxDeclaredBits = 1ULL << 48;
 
 // ----------------------------------------------------------- encode side ---
 
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
   while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
     v >>= 7;
+    ++n;
   }
-  out.push_back(static_cast<std::uint8_t>(v));
+  return n;
 }
 
-void put_name(std::vector<std::uint8_t>& out, const std::string& name) {
+std::uint8_t* write_varint(std::uint8_t* p, std::uint64_t v) {
+  // Unrolled for the 1- and 2-byte encodings that cover every length and id
+  // a round frame carries; the loop tail only runs for >14-bit values.
+  if (v < 0x80) {
+    *p++ = static_cast<std::uint8_t>(v);
+    return p;
+  }
+  if (v < 0x4000) {
+    *p++ = static_cast<std::uint8_t>(v | 0x80);
+    *p++ = static_cast<std::uint8_t>(v >> 7);
+    return p;
+  }
+  while (v >= 0x80) {
+    *p++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
+}
+
+void check_name(const std::string& name) {
   if (name.empty() || name.size() > kMaxNameLen) {
     throw std::invalid_argument("wire::encode: field name must be 1..255 bytes: '" + name +
                                 "'");
   }
-  put_varint(out, name.size());
-  out.insert(out.end(), name.begin(), name.end());
+}
+
+std::uint8_t* write_name(std::uint8_t* p, const std::string& name) {
+  p = write_varint(p, name.size());
+  std::memcpy(p, name.data(), name.size());
+  return p + name.size();
+}
+
+// Big-endian minimal magnitude straight from the limb array — the byte
+// count comes from bit_length(), so nothing is materialised up front. The
+// partial top limb goes out byte-by-byte; every full limb below it is one
+// byte-swapped 8-byte store.
+std::uint8_t* write_int_mag(std::uint8_t* p, const mpint::BigInt& v, std::size_t nbytes) {
+  std::size_t i = nbytes;
+  while (i & 7) {
+    --i;
+    *p++ = static_cast<std::uint8_t>(v.limb(i >> 3) >> ((i & 7) * 8));
+  }
+  while (i != 0) {
+    i -= 8;
+    const std::uint64_t w = __builtin_bswap64(static_cast<std::uint64_t>(v.limb(i >> 3)));
+    std::memcpy(p, &w, 8);
+    p += 8;
+  }
+  return p;
 }
 
 // Payload::put_* appends unconditionally; a duplicate name within a kind
 // would encode into a frame the strict decoder rejects at every receiver,
-// so it must fail loudly at the sender instead.
+// so it must fail loudly at the sender instead. Quadratic scan for the
+// typical handful of fields, sort-based above that.
 template <typename Vec>
 void reject_duplicates(const Vec& fields, const char* kind) {
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    for (std::size_t j = i + 1; j < fields.size(); ++j) {
-      if (fields[i].first == fields[j].first) {
-        throw std::invalid_argument(std::string("wire::encode: duplicate ") + kind +
-                                    " field '" + fields[i].first + "'");
+  if (fields.size() <= 12) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      for (std::size_t j = i + 1; j < fields.size(); ++j) {
+        if (fields[i].first == fields[j].first) {
+          throw std::invalid_argument(std::string("wire::encode: duplicate ") + kind +
+                                      " field '" + fields[i].first + "'");
+        }
       }
+    }
+    return;
+  }
+  std::vector<const std::string*> names;
+  names.reserve(fields.size());
+  for (const auto& f : fields) names.push_back(&f.first);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (std::size_t i = 0; i + 1 < names.size(); ++i) {
+    if (*names[i] == *names[i + 1]) {
+      throw std::invalid_argument(std::string("wire::encode: duplicate ") + kind + " field '" +
+                                  *names[i] + "'");
     }
   }
 }
@@ -147,47 +207,85 @@ Frame encode(const net::Message& msg) {
   if (msg.declared_bits > kMaxDeclaredBits) {
     throw std::invalid_argument("wire::encode: declared_bits too large");
   }
-  reject_duplicates(msg.payload.ints(), "int");
-  reject_duplicates(msg.payload.blobs(), "blob");
-  reject_duplicates(msg.payload.u32s(), "u32");
-  std::vector<std::uint8_t> out;
-  out.reserve(16 + msg.type.size() + msg.payload.wire_bytes() +
-              12 * (msg.payload.ints().size() + msg.payload.blobs().size() +
-                    msg.payload.u32s().size()));
-  out.push_back(kMagic);
-  out.push_back(kVersion);
-  out.push_back(msg.recipient.has_value() ? kFlagRecipient : 0);
-  put_varint(out, msg.sender);
-  if (msg.recipient.has_value()) put_varint(out, *msg.recipient);
-  put_varint(out, msg.declared_bits);
-  put_varint(out, msg.type.size());
-  out.insert(out.end(), msg.type.begin(), msg.type.end());
-  put_varint(out, msg.payload.ints().size() + msg.payload.blobs().size() +
-                      msg.payload.u32s().size());
+  const auto& ints = msg.payload.ints();
+  const auto& blobs = msg.payload.blobs();
+  const auto& u32s = msg.payload.u32s();
+  reject_duplicates(ints, "int");
+  reject_duplicates(blobs, "blob");
+  reject_duplicates(u32s, "u32");
 
-  for (const auto& [name, value] : msg.payload.ints()) {
+  // Sizing pass: every field's exact wire width (int magnitudes straight
+  // from bit_length), so the single allocation below is the final buffer —
+  // no push_back growth and no intermediate byte vectors.
+  const std::size_t field_count = ints.size() + blobs.size() + u32s.size();
+  std::size_t total = 3 + varint_size(msg.sender) + varint_size(msg.declared_bits) +
+                      varint_size(msg.type.size()) + msg.type.size() +
+                      varint_size(field_count);
+  if (msg.recipient.has_value()) total += varint_size(*msg.recipient);
+  std::vector<std::size_t> int_lens;
+  int_lens.reserve(ints.size());
+  for (const auto& [name, value] : ints) {
     if (value.negative()) {
       throw std::invalid_argument("wire::encode: negative integer field '" + name + "'");
     }
-    out.push_back(kKindInt);
-    put_name(out, name);
-    const std::vector<std::uint8_t> mag = value.to_bytes_be();  // minimal; zero => empty
-    put_varint(out, mag.size());
-    out.insert(out.end(), mag.begin(), mag.end());
+    check_name(name);
+    const std::size_t mag = (value.bit_length() + 7) / 8;  // minimal; zero => empty
+    int_lens.push_back(mag);
+    total += 1 + varint_size(name.size()) + name.size() + varint_size(mag) + mag;
   }
-  for (const auto& [name, value] : msg.payload.blobs()) {
-    out.push_back(kKindBlob);
-    put_name(out, name);
-    put_varint(out, value.size());
-    out.insert(out.end(), value.begin(), value.end());
+  for (const auto& [name, value] : blobs) {
+    check_name(name);
+    total += 1 + varint_size(name.size()) + name.size() + varint_size(value.size()) +
+             value.size();
   }
-  for (const auto& [name, value] : msg.payload.u32s()) {
-    out.push_back(kKindU32);
-    put_name(out, name);
-    out.push_back(static_cast<std::uint8_t>(value >> 24));
-    out.push_back(static_cast<std::uint8_t>(value >> 16));
-    out.push_back(static_cast<std::uint8_t>(value >> 8));
-    out.push_back(static_cast<std::uint8_t>(value));
+  for (const auto& [name, value] : u32s) {
+    (void)value;
+    check_name(name);
+    total += 1 + varint_size(name.size()) + name.size() + 4;
+  }
+
+  std::vector<std::uint8_t> out(total);
+  std::uint8_t* p = out.data();
+  *p++ = kMagic;
+  *p++ = kVersion;
+  *p++ = msg.recipient.has_value() ? kFlagRecipient : 0;
+  p = write_varint(p, msg.sender);
+  if (msg.recipient.has_value()) p = write_varint(p, *msg.recipient);
+  p = write_varint(p, msg.declared_bits);
+  p = write_varint(p, msg.type.size());
+  if (!msg.type.empty()) {
+    std::memcpy(p, msg.type.data(), msg.type.size());
+    p += msg.type.size();
+  }
+  p = write_varint(p, field_count);
+
+  std::size_t idx = 0;
+  for (const auto& [name, value] : ints) {
+    *p++ = kKindInt;
+    p = write_name(p, name);
+    const std::size_t mag = int_lens[idx++];
+    p = write_varint(p, mag);
+    p = write_int_mag(p, value, mag);
+  }
+  for (const auto& [name, value] : blobs) {
+    *p++ = kKindBlob;
+    p = write_name(p, name);
+    p = write_varint(p, value.size());
+    if (!value.empty()) {
+      std::memcpy(p, value.data(), value.size());
+      p += value.size();
+    }
+  }
+  for (const auto& [name, value] : u32s) {
+    *p++ = kKindU32;
+    p = write_name(p, name);
+    *p++ = static_cast<std::uint8_t>(value >> 24);
+    *p++ = static_cast<std::uint8_t>(value >> 16);
+    *p++ = static_cast<std::uint8_t>(value >> 8);
+    *p++ = static_cast<std::uint8_t>(value);
+  }
+  if (p != out.data() + total) {
+    throw std::logic_error("wire::encode: sizing pass disagrees with writer");
   }
   OBS_COUNT("wire.encodes", 1);
   OBS_COUNT("wire.encoded_bytes", out.size());

@@ -138,6 +138,139 @@ TEST(ModContext, OpCountersTrackWork) {
   EXPECT_GT(after.mod_muls, before.mod_muls);
 }
 
+// ------------------------------------------------------------ multi-exp ---
+
+TEST(ModContext, MultiExpMatchesNaiveOn500RandomTuples) {
+  XoshiroRng rng(7177);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t bits = 16 + static_cast<std::size_t>(rng.next_u64() % 240);
+    BigInt m = random_bits(rng, bits);
+    if (m <= BigInt{1}) m = BigInt{3};
+    if (i % 4 == 0) {
+      // Every 4th modulus even: the sequential generic fallback.
+      if (m.is_odd()) m += BigInt{1};
+    } else if (m.is_even()) {
+      m += BigInt{1};
+    }
+    // Arities spanning both engines: 1..8 hits Straus, > 8 hits Pippenger.
+    const std::size_t arity = 1 + static_cast<std::size_t>(rng.next_u64() % 24);
+    std::vector<BigInt> bases(arity);
+    std::vector<BigInt> exps(arity);
+    BigInt want{1};
+    want = want.mod(m);
+    for (std::size_t t = 0; t < arity; ++t) {
+      bases[t] = random_bits(rng, 8 + static_cast<std::size_t>(rng.next_u64() % 128));
+      // Mixed widths so narrow and wide partitions both fill: some tiny
+      // (Pippenger bucket shapes), some > 64 bits (Straus shapes).
+      const std::size_t ebits = 1 + static_cast<std::size_t>(rng.next_u64() % 96);
+      exps[t] = random_bits(rng, ebits);
+      want = mod_mul(want, naive_pow(bases[t], exps[t], m), m);
+    }
+    const ModContext ctx(m);
+    EXPECT_EQ(ctx.multi_exp(bases, exps), want)
+        << "tuple " << i << ": arity=" << arity << " m=" << m.to_hex();
+  }
+}
+
+TEST(ModContext, MultiExpArityOneDegeneratesToExp) {
+  XoshiroRng rng(7178);
+  BigInt m = random_bits(rng, 256);
+  if (m.is_even()) m += BigInt{1};
+  const ModContext ctx(m);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<BigInt> base{random_below(rng, m)};
+    const std::vector<BigInt> exp{random_bits(rng, 200)};
+    EXPECT_EQ(ctx.multi_exp(base, exp), ctx.exp(base[0], exp[0]));
+  }
+}
+
+TEST(ModContext, MultiExpZeroAndNegativeExponents) {
+  const ModContext ctx(BigInt{101});
+  // Zero exponents drop out entirely.
+  {
+    const std::vector<BigInt> bases{BigInt{5}, BigInt{7}, BigInt{9}};
+    const std::vector<BigInt> exps{BigInt{0}, BigInt{3}, BigInt{0}};
+    EXPECT_EQ(ctx.multi_exp(bases, exps), ctx.exp(BigInt{7}, BigInt{3}));
+  }
+  // All-zero exponents: the empty product.
+  {
+    const std::vector<BigInt> bases{BigInt{5}};
+    const std::vector<BigInt> exps{BigInt{0}};
+    EXPECT_EQ(ctx.multi_exp(bases, exps), BigInt{1});
+  }
+  // A negative exponent swaps in the inverted base: 7^3 * 7^{-3} = 1.
+  {
+    const std::vector<BigInt> bases{BigInt{7}, BigInt{7}};
+    const std::vector<BigInt> exps{BigInt{3}, BigInt{-3}};
+    EXPECT_EQ(ctx.multi_exp(bases, exps), BigInt{1});
+  }
+  // Non-invertible base with a negative exponent still throws.
+  {
+    const std::vector<BigInt> bases{BigInt{0}};
+    const std::vector<BigInt> exps{BigInt{-1}};
+    EXPECT_THROW((void)ctx.multi_exp(bases, exps), std::domain_error);
+  }
+}
+
+TEST(ModContext, MultiExpEvenModulusFallback) {
+  XoshiroRng rng(7179);
+  const BigInt m{1000};
+  const ModContext ctx(m);
+  EXPECT_FALSE(ctx.montgomery());
+  for (int i = 0; i < 10; ++i) {
+    std::vector<BigInt> bases(5);
+    std::vector<BigInt> exps(5);
+    BigInt want{1};
+    for (std::size_t t = 0; t < 5; ++t) {
+      bases[t] = random_bits(rng, 32);
+      exps[t] = random_bits(rng, 24);
+      want = mod_mul(want, naive_pow(bases[t], exps[t], m), m);
+    }
+    EXPECT_EQ(ctx.multi_exp(bases, exps), want);
+  }
+}
+
+TEST(ModContext, MultiExpRejectsMismatchedSpans) {
+  const ModContext ctx(BigInt{101});
+  const std::vector<BigInt> bases{BigInt{2}, BigInt{3}};
+  const std::vector<BigInt> exps{BigInt{4}};
+  EXPECT_THROW((void)ctx.multi_exp(bases, exps), std::invalid_argument);
+}
+
+TEST(ModContext, ProductMatchesSequentialMul) {
+  XoshiroRng rng(7180);
+  for (const bool odd : {true, false}) {
+    BigInt m = random_bits(rng, 192);
+    if (m.is_odd() != odd) m += BigInt{1};
+    if (m <= BigInt{1}) m = odd ? BigInt{3} : BigInt{4};
+    const ModContext ctx(m);
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                    std::size_t{17}, std::size_t{64}}) {
+      std::vector<BigInt> values(count);
+      BigInt want{1};
+      want = want.mod(m);
+      for (BigInt& v : values) {
+        v = random_bits(rng, 8 + static_cast<std::size_t>(rng.next_u64() % 256));
+        want = mod_mul(want, v, m);
+      }
+      EXPECT_EQ(ctx.product(values), want) << "count " << count << " odd " << odd;
+    }
+  }
+}
+
+TEST(ModContext, MultiExpCounterTracksCalls) {
+  const ModContext ctx(BigInt{101});
+  const std::vector<BigInt> bases{BigInt{3}, BigInt{5}};
+  const std::vector<BigInt> exps{BigInt{11}, BigInt{13}};
+  const OpCounts before = op_counts();
+  (void)ctx.multi_exp(bases, exps);
+  (void)ctx.multi_exp(bases, exps);
+  const OpCounts after = op_counts();
+  EXPECT_EQ(after.multi_exps - before.multi_exps, 2U);
+  EXPECT_GT(after.mod_muls, before.mod_muls);
+  EXPECT_EQ(after.exps, before.exps);  // joint calls are not plain exps
+}
+
 TEST(ModContext, ShimMatchesContext) {
   XoshiroRng rng(59);
   BigInt m = random_bits(rng, 192);

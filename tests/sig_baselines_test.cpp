@@ -73,6 +73,95 @@ TEST_F(DsaFixture, DistinctSignaturesPerCall) {
 }
 
 // ---------------------------------------------------------------------------
+// DSA batch verification (screening)
+// ---------------------------------------------------------------------------
+
+struct DsaBatch {
+  std::vector<BigInt> ys;
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::vector<DsaCommittedSignature> sigs;
+};
+
+// n distinct signers, each committing to one distinct message.
+DsaBatch make_batch(const DsaParams& params, const mpint::ModContext& ctx_p,
+                    std::size_t n, std::uint64_t seed) {
+  hash::HmacDrbg rng(seed, "dsa-batch");
+  DsaBatch b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto kp = dsa_generate_keypair(params, ctx_p, rng);
+    std::vector<std::uint8_t> msg{static_cast<std::uint8_t>(i), 0x42,
+                                  static_cast<std::uint8_t>(seed & 0xff)};
+    b.sigs.push_back(dsa_sign_committed(params, ctx_p, kp, msg, rng));
+    b.ys.push_back(kp.y);
+    b.messages.push_back(std::move(msg));
+  }
+  return b;
+}
+
+TEST_F(DsaFixture, BatchVerifyAcceptsAllValid) {
+  const mpint::ModContext ctx(params_->p);
+  for (const std::size_t n : {1U, 2U, 8U}) {
+    const auto b = make_batch(*params_, ctx, n, 100 + n);
+    EXPECT_TRUE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs))
+        << "batch of " << n;
+  }
+}
+
+TEST_F(DsaFixture, BatchVerifyMatchesIndividualVerdicts) {
+  const mpint::ModContext ctx(params_->p);
+  const auto b = make_batch(*params_, ctx, 5, 200);
+  for (std::size_t i = 0; i < b.sigs.size(); ++i) {
+    EXPECT_TRUE(dsa_verify(*params_, ctx, b.ys[i], b.messages[i], b.sigs[i].sig));
+  }
+  EXPECT_TRUE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs));
+}
+
+TEST_F(DsaFixture, BatchVerifyRejectsAnySingleForgery) {
+  const mpint::ModContext ctx(params_->p);
+  const std::size_t n = 6;
+  // Each position in turn carries one forged element; the rest stay valid.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = make_batch(*params_, ctx, n, 300);
+    b.sigs[i].sig.s = (b.sigs[i].sig.s + BigInt{1}).mod(params_->q);
+    EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs))
+        << "tampered s at " << i;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = make_batch(*params_, ctx, n, 301);
+    b.messages[i].push_back(0xFF);
+    EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs))
+        << "tampered message at " << i;
+  }
+}
+
+TEST_F(DsaFixture, BatchVerifyBindsCommitmentToR) {
+  const mpint::ModContext ctx(params_->p);
+  auto b = make_batch(*params_, ctx, 4, 400);
+  // A commitment inconsistent with sig.r must fail the r == R mod q binding
+  // even though r and s still verify individually.
+  b.sigs[2].commitment = ctx.mul(b.sigs[2].commitment, params_->g);
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs));
+}
+
+TEST_F(DsaFixture, BatchVerifyRejectsRangeViolations) {
+  const mpint::ModContext ctx(params_->p);
+  auto b = make_batch(*params_, ctx, 3, 500);
+  b.sigs[0].sig.r = BigInt{};  // r = 0 out of [1, q)
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs));
+  b = make_batch(*params_, ctx, 3, 500);
+  b.sigs[1].sig.s = params_->q;  // s = q out of [1, q)
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, b.messages, b.sigs));
+}
+
+TEST_F(DsaFixture, BatchVerifyRejectsEmptyAndMismatchedSpans) {
+  const mpint::ModContext ctx(params_->p);
+  const auto b = make_batch(*params_, ctx, 2, 600);
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, {}, {}, {}));
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, std::span{b.ys}.first(1), b.messages, b.sigs));
+  EXPECT_FALSE(dsa_batch_verify(*params_, ctx, b.ys, std::span{b.messages}.first(1), b.sigs));
+}
+
+// ---------------------------------------------------------------------------
 // ECDSA
 // ---------------------------------------------------------------------------
 
