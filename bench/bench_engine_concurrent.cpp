@@ -19,7 +19,10 @@
 //
 // Writes BENCH_engine.json; `--metrics-out FILE` additionally writes the
 // deterministic multi-group metrics JSON alone (no wall times) for
-// cross-thread-count diffing.
+// cross-thread-count diffing. `--members-per-group N` scales each group
+// (CI's cross-thread smoke runs 16x256 = 4096 members); `--metrics-only`
+// skips the sequential baseline and wall-time gates — the scaled smoke
+// checks schedule identity, not speedup.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -39,18 +42,19 @@ constexpr std::size_t kGroups = 16;
 constexpr std::size_t kMembers = 32;
 constexpr std::uint64_t kSeed = 20260730;
 
-sim::MultiGroupConfig make_config(std::uint64_t seed) {
+sim::MultiGroupConfig make_config(std::uint64_t seed, std::size_t members) {
   sim::MultiGroupConfig cfg;
   cfg.name = "engine_concurrent";
   cfg.groups = kGroups;
   cfg.topology = sim::Topology::kFlat;
   cfg.profile = gka::SecurityProfile::kTiny;
-  cfg.members_per_group = kMembers;
+  cfg.members_per_group = members;
   cfg.seed = seed;
   cfg.stagger_us = 500 * sim::kUsPerMs;  // overlapping, not identical, schedules
-  // Offsets: 0..31 initial members; 32+ joiners.
+  // Offsets: 0..members-1 initial members; >= members joiners.
   cfg.trace = {
-      {5 * sim::kUsPerSec, sim::TraceEvent::Kind::kJoin, {32}},
+      {5 * sim::kUsPerSec, sim::TraceEvent::Kind::kJoin,
+       {static_cast<std::uint32_t>(members)}},
       {10 * sim::kUsPerSec, sim::TraceEvent::Kind::kLeave, {3}},
       {15 * sim::kUsPerSec, sim::TraceEvent::Kind::kPartition, {4, 5, 6}},
       {20 * sim::kUsPerSec, sim::TraceEvent::Kind::kMerge, {4, 5, 6}},
@@ -118,16 +122,39 @@ double run_sequential(const sim::MultiGroupConfig& cfg, bool& converged) {
 
 int main(int argc, char** argv) {
   const char* metrics_out = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+  std::size_t members = kMembers;
+  bool metrics_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--members-per-group") == 0 && i + 1 < argc) {
+      members = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-only") == 0) {
+      metrics_only = true;
+    }
   }
 
   const std::size_t workers = net::worker_count();
   std::printf("=== Engine concurrency: %zu groups x %zu members, one scheduler ===\n",
-              kGroups, kMembers);
+              kGroups, members);
   std::printf("kTiny parameters, flat proposed scheme, %zu worker thread(s)\n\n", workers);
 
-  const sim::MultiGroupConfig cfg = make_config(kSeed);
+  const sim::MultiGroupConfig cfg = make_config(kSeed, members);
+
+  if (metrics_only) {
+    // The scaled cross-thread smoke: one concurrent run, convergence
+    // checked, deterministic metrics written for cmp across IDGKA_THREADS.
+    const sim::MultiGroupMetrics metrics = sim::MultiGroupRunner(cfg).run();
+    const bool converged = metrics.all_groups_agree() && metrics.convergence() == 1.0;
+    std::printf("concurrent leg converged=%s (n=%zu)\n", converged ? "yes" : "NO",
+                kGroups * members);
+    if (metrics_out != nullptr) {
+      std::ofstream mout(metrics_out);
+      mout << metrics.to_json() << '\n';
+      std::printf("wrote %s (deterministic metrics only)\n", metrics_out);
+    }
+    return converged ? 0 : 1;
+  }
 
   bool seq_converged = false;
   const double seq_ms = run_sequential(cfg, seq_converged);
@@ -143,7 +170,8 @@ int main(int argc, char** argv) {
 
   const sim::MultiGroupMetrics repeat = sim::MultiGroupRunner(cfg).run();
   const bool deterministic = metrics.to_json() == repeat.to_json();
-  const sim::MultiGroupMetrics other_seed = sim::MultiGroupRunner(make_config(kSeed + 1)).run();
+  const sim::MultiGroupMetrics other_seed =
+      sim::MultiGroupRunner(make_config(kSeed + 1, members)).run();
   const bool seeds_diverge = metrics.to_json() != other_seed.to_json();
 
   const double speedup = conc_ms > 0.0 ? seq_ms / conc_ms : 0.0;
@@ -176,11 +204,11 @@ int main(int argc, char** argv) {
                 "\"workers\":%zu,\"sequential_wall_ms\":%.1f,\"concurrent_wall_ms\":%.1f,"
                 "\"speedup\":%.2f,\"speedup_gate\":{\"required\":1.5,\"enforced\":%s,"
                 "\"pass\":%s},\"deterministic_repeat\":%s,\"seeds_diverge\":%s,"
-                "\"interleaved\":%s,\"metrics\":",
-                kGroups, kMembers, workers, seq_ms, conc_ms, speedup,
+                "\"interleaved\":%s,\"peak_rss_kb\":%zu,\"metrics\":",
+                kGroups, members, workers, seq_ms, conc_ms, speedup,
                 enforce_speedup ? "true" : "false", speedup_ok ? "true" : "false",
                 deterministic ? "true" : "false", seeds_diverge ? "true" : "false",
-                interleaved ? "true" : "false");
+                interleaved ? "true" : "false", bench::peak_rss_kb());
   out << head << metrics.to_json() << "}\n";
   out.close();
   std::printf("\nwrote BENCH_engine.json\n");

@@ -30,4 +30,20 @@ inline void rule(char c = '-', int width = 100) {
   std::putchar('\n');
 }
 
+/// Peak resident set size (VmHWM) of this process in kB, from
+/// /proc/self/status; 0 where procfs is unavailable. Every bench JSON
+/// artifact reports it so memory regressions at scale are visible in CI
+/// (bench_compare ignores it by default — it is a report, not a gate).
+inline std::size_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
 }  // namespace idgka::bench

@@ -7,14 +7,18 @@
 // BENCH_wire.json (a CI artifact) and exits non-zero when any receiver's
 // copy of a broadcast is not a reference to the sender's one encoded
 // buffer — the structural acceptance gate that fan-out is O(1) per
-// receiver. The timing comparison is advisory (CI runners are too noisy
-// to gate a build on a nanosecond race).
+// receiver — or when any message shape decodes below the throughput
+// floor, which catches an accidental quadratic (or per-byte re-scan) in
+// the single-pass decoder while staying an order of magnitude under real
+// hardware numbers. The fine-grained timing comparison is advisory (CI
+// runners are too noisy to gate a build on a nanosecond race).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "mpint/random.h"
 #include "net/network.h"
 #include "wire/codec.h"
@@ -204,13 +208,27 @@ int main() {
                   fan_rows[i].deep_copy_ns_per_rx);
     out << buf;
   }
-  out << "]}\n";
+  char rss[64];
+  std::snprintf(rss, sizeof rss, "],\"peak_rss_kb\":%zu}\n", idgka::bench::peak_rss_kb());
+  out << rss;
   out.close();
   std::printf("\nwrote BENCH_wire.json\n");
 
-  // The hard gate is the structural shared-buffer check inside fanout()
-  // (exit 1 on a copied buffer); the timing comparison is advisory — CI
-  // runners are too noisy to fail a build on a nanosecond race.
+  // Hard gates: the structural shared-buffer check inside fanout() (exit 1
+  // on a copied buffer) and the decode throughput floor below. The floor
+  // sits ~8x under the slowest shape on commodity hardware, so it only
+  // trips on a complexity regression, not on scheduler noise.
+  constexpr double kDecodeFloorMbS = 40.0;
+  bool ok = true;
+  for (const auto& row : codec_rows) {
+    if (row.decode_mb_s < kDecodeFloorMbS) {
+      std::printf("FAILED: %s decodes at %.1f MB/s (< %.0f MB/s floor)\n", row.name.c_str(),
+                  row.decode_mb_s, kDecodeFloorMbS);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
   std::printf("every fan-out width delivered one shared buffer per broadcast (O(1) ref)\n");
+  std::printf("every message shape decodes above %.0f MB/s\n", kDecodeFloorMbS);
   return 0;
 }

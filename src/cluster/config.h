@@ -27,6 +27,14 @@ struct ClusterConfig {
   gka::Scheme scheme = gka::Scheme::kProposed;
   /// Loss rate applied to every leaf (and head-tier) network.
   double loss_rate = 0.0;
+  /// Maximum tree depth (tiers of sessions). When the head set outgrows
+  /// max_cluster and the budget allows, the head tier becomes a nested
+  /// HierarchicalSession of its own (heads-of-heads), recursively — depth-k
+  /// trees give fan-out^k membership with every ring still bounded by
+  /// max_cluster. 0 means unbounded; 2 pins the historical two-tier shape
+  /// (one flat head ring regardless of head count). 1 is invalid: any
+  /// multi-cluster session already has two tiers.
+  std::size_t max_depth = 0;
   /// Observability dimension for this session's registry counters: when
   /// non-empty, rekeys and rekey retries are additionally counted as
   /// `cluster.rekeys{label}` / `cluster.rekey_retries{label}`. The sim
@@ -43,6 +51,9 @@ struct ClusterConfig {
       throw std::invalid_argument("ClusterConfig: max_cluster must be >= 2 * min_cluster");
     }
     if (batch_capacity == 0) throw std::invalid_argument("ClusterConfig: batch_capacity == 0");
+    if (max_depth == 1) {
+      throw std::invalid_argument("ClusterConfig: max_depth must be 0 (unbounded) or >= 2");
+    }
   }
 };
 

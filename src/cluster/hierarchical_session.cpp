@@ -169,6 +169,14 @@ EventSummary HierarchicalSession::merge(HierarchicalSession& other) {
     }
     other.head_tier_.reset();
   }
+  if (other.head_hier_) {
+    // Fold the nested tier's complete history straight into this side's
+    // retired pots (other's pots were already drained above).
+    for (const auto& [id, ledger] : other.head_hier_->lifetime_ledgers()) {
+      retire_member(id, ledger);
+    }
+    other.head_hier_.reset();
+  }
   other.member_view_.clear();
   other.group_key_ = BigInt{};
 
@@ -303,14 +311,19 @@ void HierarchicalSession::update_head_tier() {
       retire_ledgers(*head_tier_);
       head_tier_.reset();
     }
+    if (head_hier_) dissolve_nested();
     return;
   }
   const std::vector<std::uint32_t> desired = cluster_heads();
-  if (!head_tier_) {
+  const bool nest = want_nested(desired.size());
+  if ((nest && !head_hier_) || (!nest && !head_tier_)) {
+    // First build, or the head set crossed max_cluster and the tier shape
+    // changes (flat ring <-> nested hierarchy): renegotiate from scratch.
     rebuild_head_tier();
     return;
   }
-  const std::vector<std::uint32_t> current = head_tier_->member_ids();
+  const std::vector<std::uint32_t> current =
+      head_hier_ ? head_hier_->member_ids() : head_tier_->member_ids();
   const std::set<std::uint32_t> current_set(current.begin(), current.end());
   const std::set<std::uint32_t> desired_set(desired.begin(), desired.end());
   std::vector<std::uint32_t> added;
@@ -323,11 +336,21 @@ void HierarchicalSession::update_head_tier() {
   }
   if (added.empty() && removed.empty()) {
     // Tier membership unchanged, but leaf events happened below: re-execute
-    // the head-tier GKA so the epoch key cannot be derived by departed
-    // members who still know the old tier key.
-    if (!head_tier_->form().success) {
-      throw std::runtime_error("update_head_tier: tier rekey failed");
-    }
+    // the tier GKA so the epoch key cannot be derived by departed members
+    // who still know the old tier key. A nested tier re-forms recursively
+    // (every ring on the path refreshes and re-seals downward).
+    const bool fresh = head_hier_ ? head_hier_->form().success : head_tier_->form().success;
+    if (!fresh) throw std::runtime_error("update_head_tier: tier rekey failed");
+    return;
+  }
+  if (head_hier_) {
+    // One batched tier round: the nested session applies joins + leaves,
+    // rebalances its own clusters, recursively updates its tiers and
+    // re-seals its tier key downward. Departed heads' tier energy is
+    // retired inside the nested session (see retired_ledger).
+    for (const std::uint32_t id : added) head_hier_->queue_.push({EventType::kJoin, id});
+    for (const std::uint32_t id : removed) head_hier_->queue_.push({EventType::kLeave, id});
+    head_hier_->flush();
     return;
   }
   // Incremental update: joins first so the tier never drops below 2 mid-way.
@@ -345,13 +368,77 @@ void HierarchicalSession::update_head_tier() {
 }
 
 void HierarchicalSession::rebuild_head_tier() {
-  if (head_tier_) retire_ledgers(*head_tier_);
-  head_tier_ = std::make_unique<gka::GroupSession>(authority_, config_.scheme, cluster_heads(),
+  if (head_tier_) {
+    retire_ledgers(*head_tier_);
+    head_tier_.reset();
+  }
+  if (head_hier_) dissolve_nested();
+  const std::vector<std::uint32_t> heads = cluster_heads();
+  if (want_nested(heads.size())) {
+    head_hier_ =
+        std::make_unique<HierarchicalSession>(authority_, nested_config(), heads, next_seed());
+    if (network_hook_) head_hier_->set_network_hook(network_hook_);
+    if (!head_hier_->form().success) {
+      throw std::runtime_error("rebuild_head_tier: nested tier agreement failed");
+    }
+    return;
+  }
+  head_tier_ = std::make_unique<gka::GroupSession>(authority_, config_.scheme, heads,
                                                    next_seed(), config_.loss_rate);
   if (network_hook_) head_tier_->set_network_hook(network_hook_);
   if (!head_tier_->form().success) {
     throw std::runtime_error("rebuild_head_tier: tier key agreement failed");
   }
+}
+
+bool HierarchicalSession::want_nested(std::size_t head_count) const {
+  return head_count > config_.max_cluster && (config_.max_depth == 0 || config_.max_depth > 2);
+}
+
+ClusterConfig HierarchicalSession::nested_config() const {
+  ClusterConfig cfg = config_;
+  cfg.label.clear();
+  if (cfg.max_depth != 0) --cfg.max_depth;
+  return cfg;
+}
+
+const BigInt& HierarchicalSession::tier_key() const {
+  if (head_hier_) return head_hier_->group_key();
+  return head_tier_ ? head_tier_->key() : clusters_.front()->key();
+}
+
+void HierarchicalSession::dissolve_nested() {
+  for (const auto& [id, ledger] : head_hier_->lifetime_ledgers()) retire_member(id, ledger);
+  head_hier_.reset();
+}
+
+energy::Ledger HierarchicalSession::retired_ledger(std::uint32_t id) const {
+  energy::Ledger total;
+  const auto it = retired_by_member_.find(id);
+  if (it != retired_by_member_.end()) total += it->second;
+  if (head_hier_ && !head_hier_->contains(id)) total += head_hier_->retired_ledger(id);
+  return total;
+}
+
+std::map<std::uint32_t, energy::Ledger> HierarchicalSession::lifetime_ledgers() const {
+  std::map<std::uint32_t, energy::Ledger> out;
+  const std::vector<std::uint32_t> ids = member_ids();
+  const std::set<std::uint32_t> current(ids.begin(), ids.end());
+  // Current members: member_ledger already folds leaf + tier (live and
+  // retired, nested tiers included) + this tier's retired tenures.
+  for (const std::uint32_t id : ids) out[id] = member_ledger(id);
+  // Departed members: leaf tenures were retired here, tier tenures inside
+  // the nested session (when one exists) — fold both, skipping ids already
+  // fully covered above.
+  for (const auto& [id, ledger] : retired_by_member_) {
+    if (!current.contains(id)) out[id] += ledger;
+  }
+  if (head_hier_) {
+    for (const auto& [id, ledger] : head_hier_->lifetime_ledgers()) {
+      if (!current.contains(id)) out[id] += ledger;
+    }
+  }
+  return out;
 }
 
 void HierarchicalSession::retire_member(std::uint32_t id, const energy::Ledger& ledger) {
@@ -370,13 +457,12 @@ void HierarchicalSession::rekey_and_distribute() {
 #if IDGKA_OBS
   if (labeled_rekeys_ != nullptr) labeled_rekeys_->add(1);
 #endif
-  const BigInt& tier_key = head_tier_ ? head_tier_->key() : clusters_.front()->key();
   const std::string label = "idgka-cluster-v1|epoch|" + std::to_string(epoch_);
-  const auto key_bytes = symc::derive_key(tier_key, label);
+  const auto key_bytes = symc::derive_key(tier_key(), label);
   group_key_ = BigInt::from_bytes_be(key_bytes);
   member_view_.clear();
 
-  if (!head_tier_) {
+  if (!head_tier_ && !head_hier_) {
     // Single-cluster mode: everyone already holds the leaf key and derives
     // the epoch key locally — no broadcast needed.
     gka::GroupSession& leaf = *clusters_.front();
@@ -526,16 +612,38 @@ energy::Ledger HierarchicalSession::member_ledger(std::uint32_t id) const {
     if (std::find(heads.begin(), heads.end(), id) != heads.end()) {
       total += head_tier_->ledger(id);
     }
+  } else if (head_hier_) {
+    // Tier tenure: the nested session's lifetime view when the id is a
+    // current head, its retired tenures there when it once was one.
+    total += head_hier_->contains(id) ? head_hier_->member_ledger(id)
+                                      : head_hier_->retired_ledger(id);
   }
   const auto rit = retired_by_member_.find(id);
   if (rit != retired_by_member_.end()) total += rit->second;
   return total;
 }
 
+std::size_t HierarchicalSession::depth() const {
+  if (head_hier_) return 1 + head_hier_->depth();
+  return head_tier_ ? 2 : 1;
+}
+
+std::vector<std::size_t> HierarchicalSession::tier_sizes() const {
+  std::vector<std::size_t> out{size()};
+  if (head_hier_) {
+    const std::vector<std::size_t> nested = head_hier_->tier_sizes();
+    out.insert(out.end(), nested.begin(), nested.end());
+  } else if (head_tier_) {
+    out.push_back(head_tier_->size());
+  }
+  return out;
+}
+
 void HierarchicalSession::set_network_hook(NetworkHook hook) {
   network_hook_ = std::move(hook);
   for (auto& cluster : clusters_) cluster->set_network_hook(network_hook_);
   if (head_tier_) head_tier_->set_network_hook(network_hook_);
+  if (head_hier_) head_hier_->set_network_hook(network_hook_);
 }
 
 AggregateReport HierarchicalSession::report() const {
@@ -561,6 +669,16 @@ AggregateReport HierarchicalSession::report() const {
     rep.traffic.rx_messages += stats.rx_messages;
     rep.traffic.tx_bits += stats.tx_bits;
     rep.traffic.rx_bits += stats.rx_bits;
+  } else if (head_hier_) {
+    // The nested tier reports recursively: live tier ledgers, its own
+    // retired tenures, and every tier network's traffic.
+    const AggregateReport nested = head_hier_->report();
+    rep.total += nested.total;
+    rep.head_tier += nested.total;
+    rep.traffic.tx_messages += nested.traffic.tx_messages;
+    rep.traffic.rx_messages += nested.traffic.rx_messages;
+    rep.traffic.tx_bits += nested.traffic.tx_bits;
+    rep.traffic.rx_bits += nested.traffic.rx_bits;
   }
   return rep;
 }

@@ -1,4 +1,4 @@
-// Two-tier (cluster-based) group key agreement.
+// Depth-k (cluster-based) group key agreement.
 //
 // The flat GroupSession runs one ring over all n members, so every
 // membership event broadcasts over — and rekeys — the whole group. A
@@ -6,18 +6,24 @@
 // [min_cluster, max_cluster]; each cluster runs the paper's protocol as an
 // independent leaf GroupSession on its own broadcast domain, and the
 // cluster heads (first ring member of each cluster) run a second-tier GKA
-// among themselves. The global group key is derived from the head-tier key
-// with symc::derive_key and pushed downward as one SealedBox broadcast per
-// cluster, sealed under that cluster's leaf key — leaf members perform only
-// symmetric decryptions, never an extra exponentiation.
+// among themselves. When the head set itself outgrows max_cluster (and
+// config.max_depth allows), the head tier is a nested HierarchicalSession
+// — heads-of-heads, recursively — so a depth-k tree covers fan-out^k
+// members with every ring still bounded by max_cluster. The global group
+// key is derived from the top tier's key with symc::derive_key and pushed
+// downward as one SealedBox broadcast per cluster, sealed under that
+// cluster's leaf key — intermediate tiers repeat the same sealed push for
+// their own tier keys, and plain leaf members perform only symmetric
+// decryptions, never an extra exponentiation.
 //
 // Membership events stay cluster-local: a leave rekeys one leaf ring
-// (O(cluster) work) plus the head tier (O(#clusters)), instead of O(n).
+// (O(cluster) work) plus the tier path above it, instead of O(n).
 // Clusters split when they outgrow max_cluster and are merged into a
 // neighbour when they underflow min_cluster, so the bound holds under
-// arbitrary churn. A burst of events can be enqueued and flushed as one
-// batch: all leaf-local changes are applied first and the head-tier rekey +
-// downward distribution run once for the whole batch.
+// arbitrary churn — at every tier, because each tier applies the same
+// rules to its own cluster set. A burst of events can be enqueued and
+// flushed as one batch: all leaf-local changes are applied first and the
+// tier rekey + downward distribution run once for the whole batch.
 #pragma once
 
 #include <cstdint>
@@ -89,7 +95,13 @@ class HierarchicalSession {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool contains(std::uint32_t id) const;
+  /// Leaf clusters of this tier (nested tiers have their own).
   [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  /// Number of session tiers: 1 for a single borderless cluster, 2 for the
+  /// classic leaf + flat-head shape, 3+ when heads-of-heads tiers exist.
+  [[nodiscard]] std::size_t depth() const;
+  /// Member count per tier, leaves first: {n, #heads, #heads-of-heads, ...}.
+  [[nodiscard]] std::vector<std::size_t> tier_sizes() const;
   [[nodiscard]] std::vector<std::uint32_t> member_ids() const;
   [[nodiscard]] std::vector<std::size_t> cluster_sizes() const;
   [[nodiscard]] std::vector<std::uint32_t> cluster_heads() const;
@@ -124,6 +136,25 @@ class HierarchicalSession {
   void retire_member(std::uint32_t id, const energy::Ledger& ledger);
   void retire_ledgers(const gka::GroupSession& session);
   void rekey_and_distribute();
+  /// True when `head_count` heads need a nested tier (head ring would
+  /// overflow max_cluster and the depth budget allows another level).
+  [[nodiscard]] bool want_nested(std::size_t head_count) const;
+  /// Config for a nested head tier: one depth level fewer, no label (tier
+  /// rekeys are plumbing, not group-level events).
+  [[nodiscard]] ClusterConfig nested_config() const;
+  /// Key the group key derives from: the top tier's agreed key.
+  [[nodiscard]] const BigInt& tier_key() const;
+  /// Folds the nested tier's complete energy history into the retired pots
+  /// and destroys it (tier collapse, merge absorption).
+  void dissolve_nested();
+  /// Retired energy attributed to `id` at this tier and below-tier nests
+  /// (zero ledger when none) — lets an enclosing tier account a departed
+  /// head's history without reaching into private pots.
+  [[nodiscard]] energy::Ledger retired_ledger(std::uint32_t id) const;
+  /// Complete per-member energy accounting of this session: every current
+  /// member's lifetime ledger plus every departed member's retired tenure,
+  /// nested tiers included. Used when this session is dissolved wholesale.
+  [[nodiscard]] std::map<std::uint32_t, energy::Ledger> lifetime_ledgers() const;
 
   gka::Authority& authority_;
   ClusterConfig config_;
@@ -132,8 +163,11 @@ class HierarchicalSession {
 
   std::vector<std::unique_ptr<gka::GroupSession>> clusters_;
   /// Second-tier session among cluster heads; null while only one cluster
-  /// exists (the group key then derives from the single leaf key).
+  /// exists (the group key then derives from the single leaf key). At most
+  /// one of head_tier_ / head_hier_ is set: flat ring while the head set
+  /// fits max_cluster, nested hierarchy (heads-of-heads) beyond that.
   std::unique_ptr<gka::GroupSession> head_tier_;
+  std::unique_ptr<HierarchicalSession> head_hier_;
 
   EventQueue queue_;
   NetworkHook network_hook_;

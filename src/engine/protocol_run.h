@@ -10,11 +10,15 @@
 // posted lands (frame-arrival resumption, opt-in per await).
 //
 // Exactly one of {the executor's resume machinery, the run body} executes
-// at any time per run; across runs the executor resumes whole
-// same-timestamp batches in parallel, which is safe because a run only
-// ever touches its own sessions/networks plus the executor's locked state.
+// at any time per run. Runs are pinned to executor shards (run id modulo
+// shard count); all of a run's park/wake state is guarded by its shard's
+// mutex, and within a shard runs resume strictly sequentially — parallelism
+// comes from resuming different shards' batches on different OS threads,
+// which is safe because a run only ever touches its own sessions/networks
+// plus the executor's locked state.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -52,7 +56,8 @@ class ProtocolRun {
 
   // --- Callable only from the run body (on the run thread) ---
 
-  /// Current virtual time (locked read of the shared clock).
+  /// Current virtual time (lock-free read of this run's shard clock; all
+  /// shard clocks agree whenever any run body executes).
   [[nodiscard]] sim::SimTime now() const;
 
   /// Yields until virtual time `when`; no-op when `when` is not in the
@@ -74,33 +79,39 @@ class ProtocolRun {
 
  private:
   friend class Executor;
-  ProtocolRun(Executor& exec, std::uint64_t id, std::string name, Body body);
+  ProtocolRun(Executor& exec, std::uint64_t id, std::size_t shard_idx, std::string name,
+              Body body);
 
   void thread_main();
-  /// Parks the run thread until the executor resumes it (executor mutex
-  /// held by the caller); throws RunAborted on shutdown.
+  /// Parks the run thread until the executor resumes it (the run's shard
+  /// mutex held by the caller); throws RunAborted on shutdown.
   void park(std::unique_lock<std::mutex>& lock);
 
   Executor& exec_;
   const std::uint64_t id_;
+  /// Shard this run is pinned to (id % shard count), fixed for life: every
+  /// event the run posts or awaits lives in that shard's scheduler.
+  const std::size_t shard_idx_;
   const std::string name_;
   Body body_;
   std::thread thread_;
 
-  // --- All below guarded by the executor's mutex ---
-  State state_ = State::kReady;
+  // --- Guarded by the owning shard's mutex (atomics below are readable
+  // --- cross-thread without it; transitions still happen under the mutex)
+  std::atomic<State> state_{State::kReady};
   bool go_ = false;  ///< run thread may execute (handoff flag)
-  bool queued_ = false;  ///< already in the executor's runnable queue
+  bool queued_ = false;  ///< already in the shard's runnable queue
   std::condition_variable cv_;  ///< run thread waits here for go_
   /// Invalidates stale timer wakes: a timer event only resumes the run if
   /// it still carries the epoch the await registered.
   std::uint64_t wake_epoch_ = 0;
   /// Frame copies posted by this run still in flight (posted, not yet
-  /// executed by the scheduler).
-  std::uint64_t in_flight_ = 0;
+  /// executed by the scheduler). Atomic because a cross-shard post bumps it
+  /// from a foreign shard's thread without taking this shard's mutex.
+  std::atomic<std::uint64_t> in_flight_{0};
   /// Timer wake events still queued in the scheduler (stale ones
   /// included); the run cannot be reaped while any remain.
-  std::uint64_t pending_wakes_ = 0;
+  std::atomic<std::uint64_t> pending_wakes_{0};
   /// The current await resumes early when in_flight_ drains to zero.
   bool arrival_sensitive_ = false;
   std::exception_ptr error_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -83,12 +84,23 @@ BigInt BigInt::from_dec(std::string_view s) {
 }
 
 BigInt BigInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  // Mirror of the wire encoder's magnitude writer: every full 8-byte group
+  // below the (possibly partial) top group is one byte-swapped bulk load,
+  // so decoding a 1024-bit value costs 16 loads, not 128 shifts.
   BigInt r;
   r.limbs_.assign((bytes.size() + 7) / 8, 0);
-  std::size_t bitpos = 0;
-  for (std::size_t i = bytes.size(); i-- > 0;) {
-    r.limbs_[bitpos / 64] |= static_cast<Limb>(bytes[i]) << (bitpos % 64);
-    bitpos += 8;
+  const std::uint8_t* p = bytes.data() + bytes.size();
+  std::size_t limb = 0;
+  std::size_t full = bytes.size() / 8;
+  while (full-- > 0) {
+    std::uint64_t w;
+    p -= 8;
+    std::memcpy(&w, p, 8);
+    r.limbs_[limb++] = static_cast<Limb>(__builtin_bswap64(w));
+  }
+  const std::size_t head = bytes.size() & 7;
+  for (std::size_t i = 0; i < head; ++i) {
+    r.limbs_[limb] |= static_cast<Limb>(bytes[i]) << ((head - 1 - i) * 8);
   }
   r.normalize();
   return r;

@@ -1,6 +1,5 @@
 #include "net/parallel.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -20,35 +19,27 @@ std::size_t worker_count() {
   return count;
 }
 
-void parallel_for_each(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  const std::size_t workers = std::min(worker_count(), count);
+void parallel_run(std::size_t workers, const std::function<void(std::size_t)>& task) {
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    if (workers == 1) task(0);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-
-  auto body = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
+  const auto guarded = [&](std::size_t w) {
+    try {
+      task(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(body);
-  body();
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(guarded, w);
+  guarded(0);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }

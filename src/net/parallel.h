@@ -2,14 +2,17 @@
 //
 // Protocol rounds are barriers: between them every member computes only on
 // its own state plus its received (immutable) messages — the MPI-style
-// share-nothing decomposition. parallel_for_each runs one index per task
-// across a bounded thread pool and rethrows the first worker exception.
+// share-nothing decomposition. parallel_for_each statically partitions the
+// index range into one contiguous chunk per worker (no shared cursor, no
+// per-index type-erased call — the body is invoked directly inside the
+// chunk loop) and rethrows the first worker exception.
 //
 // Determinism: the protocols draw randomness from per-member DRBGs, so the
 // schedule cannot change any result; tests pass with any thread count
 // (including IDGKA_THREADS=1).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -21,9 +24,30 @@ namespace idgka::net {
 /// concurrency, capped at 16).
 std::size_t worker_count();
 
-/// Invokes fn(i) for i in [0, count), distributing across workers when
-/// count > 1 and workers > 1. Exceptions from workers are rethrown in the
-/// caller (first one wins).
-void parallel_for_each(std::size_t count, const std::function<void(std::size_t)>& fn);
+/// Invokes task(w) for w in [0, workers) with each w on its own thread
+/// (w = 0 runs on the calling thread). Blocks until all return; rethrows
+/// the first task exception. The building block under parallel_for_each —
+/// exposed for callers that bring their own partitioning.
+void parallel_run(std::size_t workers, const std::function<void(std::size_t)>& task);
+
+/// Invokes fn(i) for i in [0, count). With more than one worker the range
+/// is split into contiguous chunks — worker w owns indices
+/// [w*count/workers, (w+1)*count/workers) — so per-task cost is one direct
+/// call, not an atomic claim plus a std::function dispatch. Exceptions
+/// from workers are rethrown in the caller (first one wins; a throwing
+/// worker abandons the rest of its own chunk only).
+template <typename Fn>
+void parallel_for_each(std::size_t count, Fn&& fn) {
+  const std::size_t workers = std::min(worker_count(), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  parallel_run(workers, [count, workers, &fn](std::size_t w) {
+    const std::size_t begin = w * count / workers;
+    const std::size_t end = (w + 1) * count / workers;
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
 
 }  // namespace idgka::net

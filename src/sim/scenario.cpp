@@ -457,7 +457,7 @@ MultiGroupMetrics MultiGroupRunner::run() {
 
   const mpint::OpCounts ops_start = mpint::op_counts();
   Scheduler scheduler;
-  engine::Executor executor(scheduler);
+  engine::Executor executor(scheduler, cfg_.shards);
 #if IDGKA_OBS
   const obs::ScopedClock obs_clock(&scheduler_clock, &scheduler);
   const obs::Span obs_span("sim.multigroup", "sim");

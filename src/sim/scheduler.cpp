@@ -3,27 +3,28 @@
 namespace idgka::sim {
 
 void Scheduler::at(SimTime when, std::function<void()> fn) {
-  queue_.emplace(std::make_pair(when < now_ ? now_ : when, seq_++), std::move(fn));
+  const SimTime n = now();
+  queue_.emplace(std::make_pair(when < n ? n : when, seq_++), std::move(fn));
 }
 
 void Scheduler::run_until(SimTime horizon) {
   while (!queue_.empty() && queue_.begin()->first.first <= horizon) {
     auto node = queue_.extract(queue_.begin());
-    if (node.key().first > now_) now_ = node.key().first;
+    advance_to(node.key().first);
     ++executed_;
     node.mapped()();
   }
-  if (horizon > now_) now_ = horizon;
+  advance_to(horizon);
 }
 
 SimTime Scheduler::run_all() {
   while (!queue_.empty()) {
     auto node = queue_.extract(queue_.begin());
-    if (node.key().first > now_) now_ = node.key().first;
+    advance_to(node.key().first);
     ++executed_;
     node.mapped()();
   }
-  return now_;
+  return now();
 }
 
 }  // namespace idgka::sim

@@ -11,8 +11,14 @@
 // Event callbacks must never re-enter the protocol layer — in this
 // codebase they only ever deposit in-flight message copies and mark runs
 // runnable.
+//
+// Threading: the queue is externally synchronized (the sharded executor
+// guards each scheduler with its shard mutex), but the clock is an atomic
+// so any thread may read now() without a lock — trace clocks and the
+// engine's cross-shard barrier logic rely on that.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,17 +35,24 @@ inline constexpr SimTime kUsPerSec = 1'000'000;
 
 class Scheduler {
  public:
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Schedules `fn` at absolute time `when` (clamped to now for past times).
   void at(SimTime when, std::function<void()> fn);
   /// Schedules `fn` at now() + delay.
-  void after(SimTime delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+  void after(SimTime delay, std::function<void()> fn) { at(now() + delay, std::move(fn)); }
 
   /// Runs every event with timestamp <= horizon in (time, insertion) order
   /// — including events those events schedule inside the window — then
   /// advances the clock to `horizon` (never backwards).
   void run_until(SimTime horizon);
+
+  /// Advances the clock only (never backwards, executes nothing). The
+  /// sharded executor uses this to bring every shard clock to the global
+  /// barrier time before any shard resumes a run.
+  void advance_to(SimTime when) {
+    if (when > now()) now_.store(when, std::memory_order_relaxed);
+  }
 
   /// Drains the queue completely; returns the final clock value.
   SimTime run_all();
@@ -55,7 +68,7 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   /// (time, seq) -> callback; unique keys make this a stable priority queue.

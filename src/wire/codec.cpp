@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/trace.h"
+#include "wire/frame_pool.h"
 
 namespace idgka::wire {
 
@@ -110,91 +111,112 @@ void reject_duplicates(const Vec& fields, const char* kind) {
 }
 
 // ----------------------------------------------------------- decode side ---
+//
+// The decoder is one validating left-to-right scan over a raw cursor pair
+// (p, end): each primitive checks the remaining window exactly once and
+// advances p, the varint reader is unrolled for the 1- and 2-byte
+// encodings that cover every length and id a round frame carries, and
+// integer magnitudes go to BigInt::from_bytes_be, which bulk-loads eight
+// bytes per limb. Strictness is unchanged from the historical
+// Reader-class decoder: truncation, non-minimal varints/integers,
+// out-of-order or duplicate fields and trailing bytes all throw.
 
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
 
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
-  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
-
-  std::uint8_t u8(const char* what) {
-    if (remaining() < 1) throw DecodeError(std::string("wire: truncated ") + what);
-    return bytes_[pos_++];
-  }
-
-  std::span<const std::uint8_t> take(std::size_t n, const char* what) {
-    if (remaining() < n) throw DecodeError(std::string("wire: truncated ") + what);
-    const auto out = bytes_.subspan(pos_, n);
-    pos_ += n;
-    return out;
-  }
-
-  /// Minimal unsigned LEB128; rejects >64-bit values and padded encodings.
-  std::uint64_t varint(const char* what) {
-    std::uint64_t value = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-      const std::uint8_t byte = u8(what);
-      const std::uint64_t group = byte & 0x7F;
-      if (shift == 63 && group > 1) {
-        throw DecodeError(std::string("wire: varint overflow in ") + what);
-      }
-      value |= group << shift;
-      if ((byte & 0x80) == 0) {
-        if (byte == 0 && shift != 0) {
-          throw DecodeError(std::string("wire: non-minimal varint in ") + what);
-        }
-        return value;
-      }
-    }
-    throw DecodeError(std::string("wire: varint overflow in ") + what);
-  }
-
-  std::uint32_t varint_u32(const char* what) {
-    const std::uint64_t v = varint(what);
-    if (v > std::numeric_limits<std::uint32_t>::max()) {
-      throw DecodeError(std::string("wire: value exceeds 32 bits in ") + what);
-    }
-    return static_cast<std::uint32_t>(v);
-  }
-
-  /// A length that must fit in the remaining buffer.
-  std::size_t length(const char* what) {
-    const std::uint64_t v = varint(what);
-    if (v > remaining()) {
-      throw DecodeError(std::string("wire: declared length exceeds frame in ") + what);
-    }
-    return static_cast<std::size_t>(v);
-  }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
+  [[nodiscard]] std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+  [[nodiscard]] bool done() const { return p == end; }
 };
 
-Header read_header(Reader& r) {
-  if (r.u8("magic") != kMagic) throw DecodeError("wire: bad magic");
-  if (r.u8("version") != kVersion) throw DecodeError("wire: unsupported version");
-  const std::uint8_t flags = r.u8("flags");
+[[noreturn]] void fail_truncated(const char* what) {
+  throw DecodeError(std::string("wire: truncated ") + what);
+}
+
+std::uint8_t read_u8(Cursor& c, const char* what) {
+  if (c.p == c.end) fail_truncated(what);
+  return *c.p++;
+}
+
+std::span<const std::uint8_t> take(Cursor& c, std::size_t n, const char* what) {
+  if (c.remaining() < n) fail_truncated(what);
+  const std::span<const std::uint8_t> out(c.p, n);
+  c.p += n;
+  return out;
+}
+
+/// Minimal unsigned LEB128; rejects >64-bit values and padded encodings.
+std::uint64_t read_varint(Cursor& c, const char* what) {
+  if (c.p == c.end) fail_truncated(what);
+  const std::uint8_t b0 = *c.p;
+  if (b0 < 0x80) {  // 1-byte fast path: every kind/len byte in practice
+    ++c.p;
+    return b0;
+  }
+  if (c.end - c.p >= 2 && c.p[1] < 0x80) {  // 2-byte fast path
+    const std::uint8_t b1 = c.p[1];
+    if (b1 == 0) throw DecodeError(std::string("wire: non-minimal varint in ") + what);
+    c.p += 2;
+    return (static_cast<std::uint64_t>(b1) << 7) | (b0 & 0x7F);
+  }
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = read_u8(c, what);
+    const std::uint64_t group = byte & 0x7F;
+    if (shift == 63 && group > 1) {
+      throw DecodeError(std::string("wire: varint overflow in ") + what);
+    }
+    value |= group << shift;
+    if ((byte & 0x80) == 0) {
+      if (byte == 0 && shift != 0) {
+        throw DecodeError(std::string("wire: non-minimal varint in ") + what);
+      }
+      return value;
+    }
+  }
+  throw DecodeError(std::string("wire: varint overflow in ") + what);
+}
+
+std::uint32_t read_varint_u32(Cursor& c, const char* what) {
+  const std::uint64_t v = read_varint(c, what);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw DecodeError(std::string("wire: value exceeds 32 bits in ") + what);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// A length that must fit in the remaining buffer.
+std::size_t read_length(Cursor& c, const char* what) {
+  const std::uint64_t v = read_varint(c, what);
+  if (v > c.remaining()) {
+    throw DecodeError(std::string("wire: declared length exceeds frame in ") + what);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+Header read_header(Cursor& c) {
+  if (read_u8(c, "magic") != kMagic) throw DecodeError("wire: bad magic");
+  if (read_u8(c, "version") != kVersion) throw DecodeError("wire: unsupported version");
+  const std::uint8_t flags = read_u8(c, "flags");
   if ((flags & ~kFlagRecipient) != 0) throw DecodeError("wire: unknown flags");
 
   Header h;
-  h.sender = r.varint_u32("sender");
-  if ((flags & kFlagRecipient) != 0) h.recipient = r.varint_u32("recipient");
-  h.declared_bits = r.varint("declared_bits");
+  h.sender = read_varint_u32(c, "sender");
+  if ((flags & kFlagRecipient) != 0) h.recipient = read_varint_u32(c, "recipient");
+  h.declared_bits = read_varint(c, "declared_bits");
   if (h.declared_bits > kMaxDeclaredBits) throw DecodeError("wire: declared_bits too large");
-  const std::size_t type_len = r.length("type");
+  const std::size_t type_len = read_length(c, "type");
   if (type_len > kMaxTypeLen) throw DecodeError("wire: type label too long");
-  const auto type = r.take(type_len, "type");
+  const auto type = take(c, type_len, "type");
   h.type.assign(type.begin(), type.end());
-  h.field_count = r.varint("field_count");
+  h.field_count = read_varint(c, "field_count");
   return h;
 }
 
-std::string read_name(Reader& r) {
-  const std::size_t len = r.length("field name");
+std::string read_name(Cursor& c) {
+  const std::size_t len = read_length(c, "field name");
   if (len == 0 || len > kMaxNameLen) throw DecodeError("wire: field name must be 1..255 bytes");
-  const auto bytes = r.take(len, "field name");
+  const auto bytes = take(c, len, "field name");
   return std::string(bytes.begin(), bytes.end());
 }
 
@@ -244,7 +266,11 @@ Frame encode(const net::Message& msg) {
     total += 1 + varint_size(name.size()) + name.size() + 4;
   }
 
-  std::vector<std::uint8_t> out(total);
+  // Pooled buffer: on the deposit path frames are born and dropped at a
+  // rate that makes this the hottest allocation in a big run — recycling
+  // through the frame pool makes steady-state encode malloc-free.
+  const std::shared_ptr<std::vector<std::uint8_t>> out_buf = acquire_buffer(total);
+  std::vector<std::uint8_t>& out = *out_buf;
   std::uint8_t* p = out.data();
   *p++ = kMagic;
   *p++ = kVersion;
@@ -291,7 +317,7 @@ Frame encode(const net::Message& msg) {
   OBS_COUNT("wire.encoded_bytes", out.size());
   OBS_RECORD("wire.frame_bytes", out.size());
   OBS_INSTANT_ARG("wire.encode", "wire", out.size());
-  return Frame(std::move(out), msg.accounted_bits(), msg.sender);
+  return Frame(out_buf, msg.accounted_bits(), msg.sender);
 }
 
 net::Message decode(std::span<const std::uint8_t> bytes) {
@@ -311,8 +337,8 @@ net::Message decode(std::span<const std::uint8_t> bytes) {
     }
   } scope{bytes.size()};
 
-  Reader r(bytes);
-  const Header h = read_header(r);
+  Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  const Header h = read_header(c);
 
   net::Message msg;
   msg.sender = h.sender;
@@ -322,18 +348,18 @@ net::Message decode(std::span<const std::uint8_t> bytes) {
 
   std::uint8_t last_kind = 0;
   for (std::uint64_t i = 0; i < h.field_count; ++i) {
-    const std::uint8_t kind = r.u8("field kind");
+    const std::uint8_t kind = read_u8(c, "field kind");
     if (kind != kKindInt && kind != kKindBlob && kind != kKindU32) {
       throw DecodeError("wire: unknown field kind");
     }
     if (kind < last_kind) throw DecodeError("wire: field kinds out of canonical order");
     last_kind = kind;
-    std::string name = read_name(r);
+    std::string name = read_name(c);
     switch (kind) {
       case kKindInt: {
         if (msg.payload.has_int(name)) throw DecodeError("wire: duplicate int '" + name + "'");
-        const std::size_t len = r.length("int value");
-        const auto mag = r.take(len, "int value");
+        const std::size_t len = read_length(c, "int value");
+        const auto mag = take(c, len, "int value");
         if (!mag.empty() && mag.front() == 0) {
           throw DecodeError("wire: non-minimal integer '" + name + "'");
         }
@@ -344,24 +370,23 @@ net::Message decode(std::span<const std::uint8_t> bytes) {
         if (msg.payload.has_blob(name)) {
           throw DecodeError("wire: duplicate blob '" + name + "'");
         }
-        const std::size_t len = r.length("blob value");
-        const auto blob = r.take(len, "blob value");
+        const std::size_t len = read_length(c, "blob value");
+        const auto blob = take(c, len, "blob value");
         msg.payload.put_blob(std::move(name), std::vector<std::uint8_t>(blob.begin(), blob.end()));
         break;
       }
       default: {  // kKindU32
         if (msg.payload.has_u32(name)) throw DecodeError("wire: duplicate u32 '" + name + "'");
-        const auto be = r.take(4, "u32 value");
-        const std::uint32_t value = (static_cast<std::uint32_t>(be[0]) << 24) |
-                                    (static_cast<std::uint32_t>(be[1]) << 16) |
-                                    (static_cast<std::uint32_t>(be[2]) << 8) |
-                                    static_cast<std::uint32_t>(be[3]);
+        const auto be = take(c, 4, "u32 value");
+        std::uint32_t value;
+        std::memcpy(&value, be.data(), 4);
+        value = __builtin_bswap32(value);
         msg.payload.put_u32(std::move(name), value);
         break;
       }
     }
   }
-  if (!r.done()) throw DecodeError("wire: trailing garbage after payload");
+  if (!c.done()) throw DecodeError("wire: trailing garbage after payload");
   scope.ok = true;
   return msg;
 }
@@ -369,8 +394,8 @@ net::Message decode(std::span<const std::uint8_t> bytes) {
 net::Message decode(const Frame& frame) { return decode(frame.bytes()); }
 
 Header peek(std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
-  return read_header(r);
+  Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  return read_header(c);
 }
 
 void assert_roundtrip(const net::Message& msg, const Frame& frame) {

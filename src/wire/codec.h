@@ -69,6 +69,12 @@ class Frame {
       : buf_(std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes))),
         accounted_bits_(accounted_bits),
         sender_(sender) {}
+  /// Adopts an already-shared buffer — the encoder's pooled-buffer path
+  /// (wire/frame_pool.h): the buffer returns to the pool, not the
+  /// allocator, when the last Frame copy drops.
+  Frame(std::shared_ptr<const std::vector<std::uint8_t>> bytes,
+        std::uint64_t accounted_bits, std::uint32_t sender)
+      : buf_(std::move(bytes)), accounted_bits_(accounted_bits), sender_(sender) {}
 
   [[nodiscard]] std::span<const std::uint8_t> bytes() const {
     return buf_ ? std::span<const std::uint8_t>(*buf_) : std::span<const std::uint8_t>();

@@ -1,0 +1,89 @@
+#include "wire/frame_pool.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace idgka::wire {
+
+namespace {
+
+// Buffers above this never enter the pool: a synthetic megaframe must not
+// pin megabytes of idle capacity for the rest of the process.
+constexpr std::size_t kMaxPooledBytes = 64 * 1024;
+constexpr std::size_t kStripeCount = 8;     // power of two, hashed by thread
+constexpr std::size_t kStripeCapacity = 32;  // parked buffers per stripe
+
+struct Stripe {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> free_list;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> returns{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+// Leaked on purpose: Frame deleters may run during static destruction of
+// whatever still holds a frame (test fixtures, global networks).
+Stripe* stripes() {
+  static auto* s = new std::array<Stripe, kStripeCount>();
+  return s->data();
+}
+
+Stripe& my_stripe() {
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes()[h & (kStripeCount - 1)];
+}
+
+void release(std::vector<std::uint8_t>* buf) {
+  std::unique_ptr<std::vector<std::uint8_t>> owned(buf);
+  Stripe& stripe = my_stripe();
+  if (buf->capacity() > kMaxPooledBytes) {
+    stripe.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.free_list.size() >= kStripeCapacity) {
+    stripe.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stripe.returns.fetch_add(1, std::memory_order_relaxed);
+  stripe.free_list.push_back(std::move(owned));
+}
+
+}  // namespace
+
+std::shared_ptr<std::vector<std::uint8_t>> acquire_buffer(std::size_t size) {
+  Stripe& stripe = my_stripe();
+  std::unique_ptr<std::vector<std::uint8_t>> buf;
+  {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (!stripe.free_list.empty()) {
+      buf = std::move(stripe.free_list.back());
+      stripe.free_list.pop_back();
+    }
+  }
+  if (buf) {
+    stripe.hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stripe.misses.fetch_add(1, std::memory_order_relaxed);
+    buf = std::make_unique<std::vector<std::uint8_t>>();
+  }
+  buf->resize(size);
+  return {buf.release(), &release};
+}
+
+FramePoolStats frame_pool_stats() {
+  FramePoolStats stats;
+  for (std::size_t i = 0; i < kStripeCount; ++i) {
+    Stripe& s = stripes()[i];
+    stats.hits += s.hits.load(std::memory_order_relaxed);
+    stats.misses += s.misses.load(std::memory_order_relaxed);
+    stats.returns += s.returns.load(std::memory_order_relaxed);
+    stats.dropped += s.dropped.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace idgka::wire

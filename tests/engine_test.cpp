@@ -4,8 +4,10 @@
 // runner (M concurrent clusters on one clock).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "engine/executor.h"
@@ -219,6 +221,80 @@ TEST(Executor, TimerOnlyAwaitBurnsFullTimeout) {
   EXPECT_EQ(resumed_at, 10'000U);
 }
 
+TEST(Executor, ExplicitShardCountPreservesScheduleAndCounters) {
+  // The same workload on 1, 2 and 4 scheduler shards must produce the
+  // identical wake sequence and merged counters — the sharded-executor
+  // determinism contract (virtual-time barriers, not racy handoff).
+  const auto run_once = [](std::size_t shards) {
+    sim::Scheduler scheduler;
+    Executor executor(scheduler, shards);
+    EXPECT_EQ(executor.shard_count(), shards == 0 ? 1U : shards);
+    std::mutex record_mutex;
+    std::vector<std::pair<int, sim::SimTime>> wakes;
+    for (int i = 0; i < 6; ++i) {
+      executor.submit("shard" + std::to_string(i), [&, i](ProtocolRun& run) {
+        run.sleep_until(100 * (i + 1));
+        {
+          const std::lock_guard<std::mutex> lock(record_mutex);
+          wakes.emplace_back(i, run.now());
+        }
+        run.sleep_until(1000 - 100 * i);
+        const std::lock_guard<std::mutex> lock(record_mutex);
+        wakes.emplace_back(i, run.now());
+      });
+    }
+    executor.drain();
+    std::sort(wakes.begin(), wakes.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    return std::make_tuple(wakes, executor.resumes(), executor.max_batch());
+  };
+
+  const auto one = run_once(1);
+  const auto two = run_once(2);
+  const auto four = run_once(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // 6 starts + 11 timer wakes (run 5's second sleep targets the past: no-op).
+  EXPECT_EQ(std::get<1>(one), 17U);
+}
+
+TEST(Executor, CrossShardPostLandsAtBarrier) {
+  // A run on one shard posts a frame-arrival event to a run pinned to the
+  // other shard; the inbox handoff must deliver it at the right virtual
+  // instant and wake the arrival-sensitive waiter.
+  sim::Scheduler scheduler;
+  Executor executor(scheduler, 2);
+  std::vector<sim::SimTime> arrivals;
+  std::mutex arrivals_mutex;
+
+  // Runs are pinned round-robin by id: submit order puts the two runs on
+  // different shards, so the sender's deposit takes the inbox handoff.
+  ProtocolRun* receiver = nullptr;
+  executor.submit("receiver", [&](ProtocolRun& run) {
+    receiver = &run;
+    run.sleep_until(260);  // the copy is in flight by now (sender posts at 250)
+    run.await_round(/*timeout=*/10'000, /*resume_on_arrival=*/true);
+    const std::lock_guard<std::mutex> lock(arrivals_mutex);
+    arrivals.push_back(run.now());
+  });
+  executor.submit("sender", [&](ProtocolRun& run) {
+    run.sleep_until(250);
+    executor.post(
+        50,
+        [&] {
+          const std::lock_guard<std::mutex> lock(arrivals_mutex);
+          arrivals.push_back(0);  // the deposit itself
+        },
+        receiver);
+  });
+  executor.drain();
+
+  ASSERT_EQ(arrivals.size(), 2U);
+  EXPECT_EQ(arrivals[0], 0U);    // deposit ran first...
+  EXPECT_EQ(arrivals[1], 300U);  // ...and woke the waiter at t=250+50
+  EXPECT_EQ(scheduler.now(), 300U);
+}
+
 TEST(Executor, RunBodyExceptionPropagatesFromDrain) {
   sim::Scheduler scheduler;
   Executor executor(scheduler);
@@ -308,6 +384,23 @@ TEST(MultiGroup, SameSeedBitIdenticalJson) {
   const std::string second = sim::MultiGroupRunner(cfg).run().to_json();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+TEST(MultiGroup, ShardCountDoesNotChangeMetricsJson) {
+  // The whole scenario pipeline over 1, 2 and 4 executor shards: per-group
+  // metrics, engine counters, traffic totals — all bit-identical. This is
+  // the in-process face of the CI smoke that diffs IDGKA_THREADS=1 vs
+  // default at n=4096.
+  sim::MultiGroupConfig cfg = small_multi();
+  cfg.shards = 1;
+  const std::string one = sim::MultiGroupRunner(cfg).run().to_json();
+  cfg.shards = 2;
+  const std::string two = sim::MultiGroupRunner(cfg).run().to_json();
+  cfg.shards = 4;
+  const std::string four = sim::MultiGroupRunner(cfg).run().to_json();
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
 }
 
 TEST(MultiGroup, DifferentSeedsDiverge) {

@@ -5,8 +5,8 @@
 //
 // Flattens every numeric leaf of both documents into "path -> value" maps
 // (obs::json::flatten_numbers) and compares them. Paths containing
-// "wall_ms" (host timing — never comparable across machines) are ignored
-// by default; --ignore adds more substrings. The sim/engine bench metrics
+// "wall_ms" (host timing) or "peak_rss" (host memory) — never comparable
+// across machines — are ignored by default; --ignore adds more substrings. The sim/engine bench metrics
 // outside those paths are pure functions of the seeds, so the default
 // tolerance is exact equality; --pct X tolerates X percent relative drift
 // for noisy fields. Exits 1 on any difference beyond tolerance, printing
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
   double pct = 0.0;
-  std::vector<std::string> ignores = {"wall_ms"};
+  std::vector<std::string> ignores = {"wall_ms", "peak_rss"};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pct") == 0 && i + 1 < argc) {
       pct = std::strtod(argv[++i], nullptr);
