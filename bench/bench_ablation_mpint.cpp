@@ -7,6 +7,10 @@
 //     re-derived on every call) vs a shared ModContext vs the fixed-base
 //     comb table, at 256/1024-bit moduli. The 1024-bit fixed-base row is the
 //     acceptance gate: the process exits non-zero below a 2.5x speedup.
+//     Also races the dedicated Montgomery squaring kernel against the
+//     general CIOS multiply at 1024/2048 bits (gate: >= 1.25x) and proves
+//     steady-state ModContext::exp allocation-free via the operator-new
+//     interposer in bench_util.h (gate: 0 heap allocs/op).
 //
 //  2. The Google-Benchmark microsuite (windowed Montgomery vs naive
 //     square-and-multiply, Karatsuba crossover, mod-mul, inverse). Runs only
@@ -19,6 +23,11 @@
 #include <fstream>
 #include <vector>
 
+// Interpose global operator new/delete for this binary: the residue-engine
+// section gates on steady-state ModContext::exp performing zero heap
+// allocations per op, measured via bench::heap_alloc_count() deltas.
+#define IDGKA_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
 #include "hash/hmac_drbg.h"
 #include "mpint/mod_context.h"
 #include "mpint/random.h"
@@ -183,6 +192,71 @@ MultiExpRow run_multi_exp(const char* engine, std::size_t arity, std::size_t mod
   return row;
 }
 
+// ------------------------------------------------------------------------
+// Residue kernels: dedicated squaring vs general CIOS multiply, and the
+// zero-allocation contract of steady-state exponentiation.
+// ------------------------------------------------------------------------
+
+struct ResidueRow {
+  std::size_t bits = 0;
+  double mul_us = 0.0;           // ctx.mul(a, b, out) — general CIOS kernel
+  double sqr_us = 0.0;           // ctx.sqr(a, out) — dedicated squaring kernel
+  double exp_allocs_per_op = 0.0;  // heap allocations per steady-state ctx.exp
+
+  [[nodiscard]] double speedup_sqr() const { return mul_us / sqr_us; }
+};
+
+ResidueRow run_residue_kernels(std::size_t bits, int iters, int reps) {
+  ResidueRow row;
+  row.bits = bits;
+  const BigInt m = random_odd(bits, 21);
+  hash::HmacDrbg rng(22, "residue-kernels");
+  const BigInt ga = mpint::random_below(rng, m);
+  const BigInt gb = mpint::random_below(rng, m);
+  const mpint::ModContext ctx(m);
+
+  const mpint::Residue a = ctx.to_residue(ga);
+  const mpint::Residue b = ctx.to_residue(gb);
+
+  // Correctness first: the squaring kernel must agree with mul(a, a).
+  mpint::Residue via_mul(ctx);
+  mpint::Residue via_sqr(ctx);
+  ctx.mul(a, a, via_mul);
+  ctx.sqr(a, via_sqr);
+  if (ctx.from_residue(via_mul) != ctx.from_residue(via_sqr)) {
+    std::fprintf(stderr, "FATAL: mont_sqr disagrees with mont_mul(a, a) at %zu bits\n",
+                 bits);
+    std::exit(2);
+  }
+
+  // Chained in place so every iteration sees a fresh operand; both loops pay
+  // the same per-call counter fold, so the ratio isolates the kernels.
+  mpint::Residue acc(ctx);
+  row.mul_us = best_of(reps, iters, [&] {
+    acc = a;
+    for (int i = 0; i < iters; ++i) ctx.mul(acc, b, acc);
+    benchmark::DoNotOptimize(acc);
+  });
+  row.sqr_us = best_of(reps, iters, [&] {
+    acc = a;
+    for (int i = 0; i < iters; ++i) ctx.sqr(acc, acc);
+    benchmark::DoNotOptimize(acc);
+  });
+
+  // Zero-allocation contract: after one warm-up exp (thread-local arena pool
+  // grabbed, output residue sized), further exps must not touch the heap.
+  const BigInt e = mpint::random_bits(rng, bits);
+  mpint::Residue out(ctx);
+  ctx.exp(a, e, out);  // warm-up
+  constexpr int kAllocProbeOps = 64;
+  const std::uint64_t allocs0 = bench::heap_alloc_count();
+  for (int i = 0; i < kAllocProbeOps; ++i) ctx.exp(a, e, out);
+  row.exp_allocs_per_op =
+      static_cast<double>(bench::heap_alloc_count() - allocs0) / kAllocProbeOps;
+  benchmark::DoNotOptimize(out);
+  return row;
+}
+
 int run_crypto_bench() {
   std::printf("=== ModContext vs per-call mod_exp (seed shim), fixed-base comb ===\n");
   std::printf("%6s %12s %12s %12s %9s %9s %10s %8s\n", "bits", "shim us/op", "ctx us/op",
@@ -208,6 +282,17 @@ int run_crypto_bench() {
                 r.seq_us, r.joint_us, r.speedup(),
                 static_cast<unsigned long long>(r.seq_mod_muls),
                 static_cast<unsigned long long>(r.joint_mod_muls));
+  }
+
+  std::printf("\n=== Residue kernels: dedicated squaring vs general mont_mul ===\n");
+  std::printf("%6s %12s %12s %9s %14s\n", "bits", "mul us/op", "sqr us/op", "sqr x",
+              "exp allocs/op");
+  std::vector<ResidueRow> residue;
+  residue.push_back(run_residue_kernels(1024, 200000, 7));
+  residue.push_back(run_residue_kernels(2048, 60000, 7));
+  for (const ResidueRow& r : residue) {
+    std::printf("%6zu %12.4f %12.4f %8.2fx %14.2f\n", r.bits, r.mul_us, r.sqr_us,
+                r.speedup_sqr(), r.exp_allocs_per_op);
   }
 
   std::ofstream out("BENCH_crypto.json");
@@ -241,9 +326,22 @@ int run_crypto_bench() {
                   static_cast<unsigned long long>(r.joint_mod_muls));
     out << buf;
   }
+  out << "],\"residue\":[";
+  for (std::size_t i = 0; i < residue.size(); ++i) {
+    const ResidueRow& r = residue[i];
+    if (i > 0) out << ',';
+    char buf[200];
+    // _us fields are host timing (CI-ignored); allocs_per_op is exact.
+    std::snprintf(buf, sizeof buf,
+                  "{\"bits\":%zu,\"mont_mul_us\":%.4f,\"mont_sqr_us\":%.4f,"
+                  "\"mont_sqr_speedup\":%.2f,\"exp_allocs_per_op\":%.2f}",
+                  r.bits, r.mul_us, r.sqr_us, r.speedup_sqr(), r.exp_allocs_per_op);
+    out << buf;
+  }
   out << "]}\n";
   out.close();
-  std::printf("\nwrote BENCH_crypto.json (%zu + %zu rows)\n", rows.size(), multi.size());
+  std::printf("\nwrote BENCH_crypto.json (%zu + %zu + %zu rows)\n", rows.size(),
+              multi.size(), residue.size());
 
   const double gate = rows.back().speedup_fixed();
   if (gate < 2.5) {
@@ -263,6 +361,21 @@ int run_crypto_bench() {
     return 1;
   }
   std::printf("width-32 bucket multi-exp %.2fx >= 2x acceptance bar\n", multi[1].speedup());
+  for (const ResidueRow& r : residue) {
+    if (r.speedup_sqr() < 1.25) {
+      std::printf("FAILED: %zu-bit mont_sqr %.2fx < 1.25x acceptance bar\n", r.bits,
+                  r.speedup_sqr());
+      return 1;
+    }
+    std::printf("%zu-bit mont_sqr %.2fx >= 1.25x acceptance bar\n", r.bits,
+                r.speedup_sqr());
+    if (r.exp_allocs_per_op != 0.0) {
+      std::printf("FAILED: %zu-bit steady-state exp performs %.2f heap allocs/op (want 0)\n",
+                  r.bits, r.exp_allocs_per_op);
+      return 1;
+    }
+    std::printf("%zu-bit steady-state exp: 0 heap allocs/op\n", r.bits);
+  }
   return 0;
 }
 

@@ -30,6 +30,55 @@ inline void rule(char c = '-', int width = 100) {
   std::putchar('\n');
 }
 
+}  // namespace idgka::bench
+
+// ---------------------------------------------------------------------------
+// Opt-in heap-allocation counter.
+//
+// Define IDGKA_BENCH_COUNT_ALLOCS before including this header — from exactly
+// ONE translation unit of the bench executable — to replace the global
+// operator new/delete with counting wrappers. Replaceable allocation
+// functions must not be inline ([replacement.functions]), so the definitions
+// below are plain externals: the single-TU rule keeps the ODR happy while
+// still interposing every allocation in the whole binary, including the
+// linked-in library code under test. heap_alloc_count() deltas around a
+// steady-state loop then measure allocations per operation (the residue
+// engine's zero-alloc gate in bench_ablation_mpint).
+// ---------------------------------------------------------------------------
+#ifdef IDGKA_BENCH_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace idgka::bench {
+
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> g_news{0};
+}  // namespace alloc_detail
+
+/// Number of operator-new calls since process start.
+inline std::uint64_t heap_alloc_count() {
+  return alloc_detail::g_news.load(std::memory_order_relaxed);
+}
+
+}  // namespace idgka::bench
+
+void* operator new(std::size_t size) {
+  idgka::bench::alloc_detail::g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // IDGKA_BENCH_COUNT_ALLOCS
+
+namespace idgka::bench {
+
 /// Peak resident set size (VmHWM) of this process in kB, from
 /// /proc/self/status; 0 where procfs is unavailable. Every bench JSON
 /// artifact reports it so memory regressions at scale are visible in CI

@@ -15,32 +15,32 @@ Curve::Curve(std::string name, BigInt p, BigInt a, BigInt b, Point g, BigInt n, 
       g_(std::move(g)),
       n_(std::move(n)),
       h_(std::move(h)),
-      fctx_(p_) {
+      fctx_(p_),
+      a_r_(fctx_.to_residue(a_)),
+      b_r_(fctx_.to_residue(b_)) {
   if (!is_on_curve(g_)) throw std::invalid_argument("Curve: generator not on curve");
 }
 
-BigInt Curve::fadd(const BigInt& x, const BigInt& y) const {
-  BigInt r = x + y;
-  if (r >= p_) r -= p_;
-  return r;
-}
-
-BigInt Curve::fsub(const BigInt& x, const BigInt& y) const {
-  BigInt r = x - y;
-  if (r.negative()) r += p_;
-  return r;
-}
-
-// Measured (bench_sim_scale): for the small fields the curves live in, one
-// schoolbook multiply + reduction beats the context's to/from-Montgomery
-// round trip per single multiply, so fmul stays off the context; fctx_
-// serves the exponentiation-shaped work (square roots in MapToPoint).
-BigInt Curve::fmul(const BigInt& x, const BigInt& y) const { return (x * y).mod(p_); }
+// All point arithmetic below runs in fctx_'s residue domain (Montgomery form
+// for the odd field primes): a Jacobian coordinate is converted once at the
+// affine boundary and every field operation in between is a raw limb kernel
+// — adds/subs with one conditional modulus correction, mont_mul/mont_sqr for
+// products — with no division-based reduction and no heap traffic.
+using mpint::Residue;
 
 bool Curve::is_on_curve(const Point& pt) const {
   if (pt.infinity) return true;
-  const BigInt lhs = fmul(pt.y, pt.y);
-  const BigInt rhs = fadd(fadd(fmul(fmul(pt.x, pt.x), pt.x), fmul(a_, pt.x)), b_);
+  const Residue x = fctx_.to_residue(pt.x);
+  const Residue y = fctx_.to_residue(pt.y);
+  Residue lhs;
+  fctx_.sqr(y, lhs);  // y^2
+  Residue rhs;
+  fctx_.sqr(x, rhs);
+  fctx_.mul(rhs, x, rhs);  // x^3
+  Residue t;
+  fctx_.mul(a_r_, x, t);
+  fctx_.add(rhs, t, rhs);
+  fctx_.add(rhs, b_r_, rhs);  // x^3 + a*x + b
   return lhs == rhs;
 }
 
@@ -49,61 +49,111 @@ Point Curve::neg(const Point& pt) const {
   return Point{pt.x, pt.y.is_zero() ? BigInt{} : p_ - pt.y, false};
 }
 
+Curve::Jac Curve::jac_inf() const {
+  return Jac{fctx_.one_residue(), fctx_.one_residue(), Residue(fctx_)};
+}
+
 Curve::Jac Curve::to_jac(const Point& pt) const {
-  if (pt.infinity) return Jac{BigInt{1}, BigInt{1}, BigInt{}};
-  return Jac{pt.x, pt.y, BigInt{1}};
+  if (pt.infinity) return jac_inf();
+  return Jac{fctx_.to_residue(pt.x), fctx_.to_residue(pt.y), fctx_.one_residue()};
 }
 
 Point Curve::from_jac(const Jac& j) const {
   if (j.z.is_zero()) return Point::at_infinity();
-  const BigInt z_inv = fctx_.inv(j.z);
-  const BigInt z2 = fmul(z_inv, z_inv);
-  return Point{fmul(j.x, z2), fmul(j.y, fmul(z2, z_inv)), false};
+  const Residue z_inv = fctx_.to_residue(fctx_.inv(fctx_.from_residue(j.z)));
+  Residue z2;
+  fctx_.sqr(z_inv, z2);
+  Residue x;
+  fctx_.mul(j.x, z2, x);
+  Residue y;
+  fctx_.mul(z2, z_inv, y);  // z^-3
+  fctx_.mul(j.y, y, y);
+  return Point{fctx_.from_residue(x), fctx_.from_residue(y), false};
 }
 
 Curve::Jac Curve::jac_dbl(const Jac& p1) const {
-  if (p1.z.is_zero() || p1.y.is_zero()) return Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  if (p1.z.is_zero() || p1.y.is_zero()) return jac_inf();
   // dbl-2007-bl style (general a).
-  const BigInt xx = fmul(p1.x, p1.x);
-  const BigInt yy = fmul(p1.y, p1.y);
-  const BigInt yyyy = fmul(yy, yy);
-  const BigInt zz = fmul(p1.z, p1.z);
+  Residue xx, yy, yyyy, zz, s, m, t, u;
+  fctx_.sqr(p1.x, xx);
+  fctx_.sqr(p1.y, yy);
+  fctx_.sqr(yy, yyyy);
+  fctx_.sqr(p1.z, zz);
   // S = 2*((X+YY)^2 - XX - YYYY)
-  const BigInt t = fmul(fadd(p1.x, yy), fadd(p1.x, yy));
-  const BigInt s = fadd(fsub(fsub(t, xx), yyyy), fsub(fsub(t, xx), yyyy));
+  fctx_.add(p1.x, yy, t);
+  fctx_.sqr(t, t);
+  fctx_.sub(t, xx, s);
+  fctx_.sub(s, yyyy, s);
+  fctx_.add(s, s, s);
   // M = 3*XX + a*ZZ^2
-  const BigInt m = fadd(fadd(fadd(xx, xx), xx), fmul(a_, fmul(zz, zz)));
-  const BigInt x3 = fsub(fmul(m, m), fadd(s, s));
-  BigInt y3 = fsub(fmul(m, fsub(s, x3)), fadd(fadd(fadd(yyyy, yyyy), fadd(yyyy, yyyy)),
-                                              fadd(fadd(yyyy, yyyy), fadd(yyyy, yyyy))));
+  fctx_.add(xx, xx, m);
+  fctx_.add(m, xx, m);
+  fctx_.sqr(zz, t);
+  fctx_.mul(a_r_, t, t);
+  fctx_.add(m, t, m);
+  // X3 = M^2 - 2*S
+  Jac out;
+  fctx_.sqr(m, out.x);
+  fctx_.add(s, s, t);
+  fctx_.sub(out.x, t, out.x);
+  // Y3 = M*(S - X3) - 8*YYYY
+  fctx_.sub(s, out.x, t);
+  fctx_.mul(m, t, t);
+  fctx_.add(yyyy, yyyy, u);
+  fctx_.add(u, u, u);
+  fctx_.add(u, u, u);
+  fctx_.sub(t, u, out.y);
   // Z3 = (Y+Z)^2 - YY - ZZ
-  const BigInt u = fmul(fadd(p1.y, p1.z), fadd(p1.y, p1.z));
-  const BigInt z3 = fsub(fsub(u, yy), zz);
-  return Jac{x3, y3, z3};
+  fctx_.add(p1.y, p1.z, u);
+  fctx_.sqr(u, u);
+  fctx_.sub(u, yy, u);
+  fctx_.sub(u, zz, out.z);
+  return out;
 }
 
 Curve::Jac Curve::jac_add(const Jac& p1, const Jac& p2) const {
   if (p1.z.is_zero()) return p2;
   if (p2.z.is_zero()) return p1;
-  const BigInt z1z1 = fmul(p1.z, p1.z);
-  const BigInt z2z2 = fmul(p2.z, p2.z);
-  const BigInt u1 = fmul(p1.x, z2z2);
-  const BigInt u2 = fmul(p2.x, z1z1);
-  const BigInt s1 = fmul(p1.y, fmul(p2.z, z2z2));
-  const BigInt s2 = fmul(p2.y, fmul(p1.z, z1z1));
+  Residue z1z1, z2z2, u1, u2, s1, s2, t;
+  fctx_.sqr(p1.z, z1z1);
+  fctx_.sqr(p2.z, z2z2);
+  fctx_.mul(p1.x, z2z2, u1);
+  fctx_.mul(p2.x, z1z1, u2);
+  fctx_.mul(p2.z, z2z2, s1);
+  fctx_.mul(p1.y, s1, s1);
+  fctx_.mul(p1.z, z1z1, s2);
+  fctx_.mul(p2.y, s2, s2);
   if (u1 == u2) {
     if (s1 == s2) return jac_dbl(p1);
-    return Jac{BigInt{1}, BigInt{1}, BigInt{}};  // P + (-P) = O
+    return jac_inf();  // P + (-P) = O
   }
-  const BigInt h = fsub(u2, u1);
-  const BigInt i = fmul(fadd(h, h), fadd(h, h));
-  const BigInt j = fmul(h, i);
-  const BigInt r = fadd(fsub(s2, s1), fsub(s2, s1));
-  const BigInt v = fmul(u1, i);
-  const BigInt x3 = fsub(fsub(fmul(r, r), j), fadd(v, v));
-  const BigInt y3 = fsub(fmul(r, fsub(v, x3)), fadd(fmul(s1, j), fmul(s1, j)));
-  const BigInt z3 = fmul(fsub(fsub(fmul(fadd(p1.z, p2.z), fadd(p1.z, p2.z)), z1z1), z2z2), h);
-  return Jac{x3, y3, z3};
+  Residue h, i, j, r, v;
+  fctx_.sub(u2, u1, h);
+  fctx_.add(h, h, i);
+  fctx_.sqr(i, i);  // I = (2H)^2
+  fctx_.mul(h, i, j);
+  fctx_.sub(s2, s1, r);
+  fctx_.add(r, r, r);
+  fctx_.mul(u1, i, v);
+  // X3 = R^2 - J - 2*V
+  Jac out;
+  fctx_.sqr(r, out.x);
+  fctx_.sub(out.x, j, out.x);
+  fctx_.add(v, v, t);
+  fctx_.sub(out.x, t, out.x);
+  // Y3 = R*(V - X3) - 2*S1*J
+  fctx_.sub(v, out.x, t);
+  fctx_.mul(r, t, t);
+  fctx_.mul(s1, j, v);
+  fctx_.add(v, v, v);
+  fctx_.sub(t, v, out.y);
+  // Z3 = ((Z1 + Z2)^2 - Z1Z1 - Z2Z2) * H
+  fctx_.add(p1.z, p2.z, t);
+  fctx_.sqr(t, t);
+  fctx_.sub(t, z1z1, t);
+  fctx_.sub(t, z2z2, t);
+  fctx_.mul(t, h, out.z);
+  return out;
 }
 
 Point Curve::add(const Point& p1, const Point& p2) const {
@@ -124,11 +174,11 @@ Point Curve::mul_raw(const BigInt& k_in, const Point& pt) const {
   // 4-bit window over Jacobian coordinates.
   const Jac base = to_jac(pt);
   std::array<Jac, 16> table;
-  table[0] = Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  table[0] = jac_inf();
   table[1] = base;
   for (std::size_t i = 2; i < 16; ++i) table[i] = jac_add(table[i - 1], base);
 
-  Jac acc{BigInt{1}, BigInt{1}, BigInt{}};
+  Jac acc = jac_inf();
   const std::size_t windows = (k.bit_length() + 3) / 4;
   for (std::size_t w = windows; w-- > 0;) {
     acc = jac_dbl(acc);
@@ -152,7 +202,7 @@ Point Curve::mul_add(const BigInt& k1, const BigInt& k2, const Point& q) const {
   const BigInt a = k1.mod(n_);
   const BigInt b = k2.mod(n_);
   const std::size_t bits = std::max(a.bit_length(), b.bit_length());
-  Jac acc{BigInt{1}, BigInt{1}, BigInt{}};
+  Jac acc = jac_inf();
   for (std::size_t i = bits; i-- > 0;) {
     acc = jac_dbl(acc);
     const bool ba = a.bit(i);

@@ -11,6 +11,7 @@
 #include "mpint/bigint.h"
 #include "mpint/mod_context.h"
 #include "mpint/random.h"
+#include "mpint/residue.h"
 
 namespace idgka::ec {
 
@@ -44,11 +45,11 @@ class Curve {
   [[nodiscard]] const BigInt& cofactor() const { return h_; }
   /// Field element byte width.
   [[nodiscard]] std::size_t field_bytes() const { return (p_.bit_length() + 7) / 8; }
-  /// Cached modular context for the base field F_p — the arithmetic seam
-  /// for exponentiation-shaped field work (e.g. MapToPoint square roots via
-  /// mpint::sqrt_mod_p3(ctx, ...)) and inversion. Single field multiplies
-  /// stay on schoolbook mul + reduce, which measures faster than a
-  /// Montgomery round trip at these sizes.
+  /// Cached modular context for the base field F_p. All Jacobian ladder
+  /// arithmetic runs in its residue domain (Montgomery form for the odd
+  /// field primes): coordinates convert once per point operation at the
+  /// affine boundary, and every field add/sub/mul/sqr in between is a raw
+  /// limb kernel — no division-based reduction, no heap traffic.
   [[nodiscard]] const mpint::ModContext& field() const { return fctx_; }
 
   /// Is `pt` on the curve (infinity counts as on-curve)?
@@ -71,25 +72,24 @@ class Curve {
 
  private:
   // Jacobian coordinates (X, Y, Z): x = X/Z^2, y = Y/Z^3; infinity Z == 0.
+  // Coordinates live in fctx_'s residue domain for the whole ladder.
   struct Jac {
-    BigInt x;
-    BigInt y;
-    BigInt z;
+    mpint::Residue x;
+    mpint::Residue y;
+    mpint::Residue z;
   };
+  [[nodiscard]] Jac jac_inf() const;
   [[nodiscard]] Jac to_jac(const Point& pt) const;
   [[nodiscard]] Point from_jac(const Jac& j) const;
   [[nodiscard]] Jac jac_dbl(const Jac& p1) const;
   [[nodiscard]] Jac jac_add(const Jac& p1, const Jac& p2) const;
-
-  [[nodiscard]] BigInt fadd(const BigInt& x, const BigInt& y) const;
-  [[nodiscard]] BigInt fsub(const BigInt& x, const BigInt& y) const;
-  [[nodiscard]] BigInt fmul(const BigInt& x, const BigInt& y) const;
 
   std::string name_;
   BigInt p_, a_, b_;
   Point g_;
   BigInt n_, h_;
   mpint::ModContext fctx_;  // per-curve field context (Montgomery constants)
+  mpint::Residue a_r_, b_r_;  // curve coefficients in the residue domain
 };
 
 /// Named curves used by the benchmarks and baselines.

@@ -7,8 +7,13 @@ namespace idgka::gka::bd {
 BigInt compute_x(const GroupCtx& grp, const BigInt& z_next, const BigInt& z_prev,
                  const BigInt& r) {
   const mpint::ModContext& mp = grp.p;
-  const BigInt ratio = mp.mul(z_next, mp.inv(z_prev));
-  return mp.exp(ratio, r);
+  // (z_next / z_prev)^r as one residue chain: convert in, multiply and
+  // exponentiate in Montgomery domain, convert out once.
+  mpint::Residue ratio = mp.to_residue(z_next);
+  const mpint::Residue inv_prev = mp.to_residue(mp.inv(z_prev));
+  mp.mul(ratio, inv_prev, ratio);
+  mp.exp(ratio, r, ratio);
+  return mp.from_residue(ratio);
 }
 
 BigInt compute_key(const GroupCtx& grp, std::span<const BigInt> z,

@@ -50,6 +50,26 @@ std::optional<BigInt> open_counted(MemberCtx& m, const BigInt& key,
   return box.open(sealed, expected_sender, sequence);
 }
 
+// K* = key * (za zb)^ea * (zc zd)^eb (Eq. 5 and its merge analogues) as one
+// Montgomery residue chain: every intermediate stays in the residue domain,
+// with a single conversion out at the end.
+BigInt rekey_star(const mpint::ModContext& ctx, const BigInt& key, const BigInt& za,
+                  const BigInt& zb, const BigInt& ea, const BigInt& zc, const BigInt& zd,
+                  const BigInt& eb) {
+  mpint::Residue term = ctx.to_residue(za);
+  mpint::Residue tmp = ctx.to_residue(zb);
+  ctx.mul(term, tmp, term);
+  ctx.exp(term, ea, term);
+  mpint::Residue acc = ctx.to_residue(key);
+  ctx.mul(acc, term, acc);
+  term = ctx.to_residue(zc);
+  tmp = ctx.to_residue(zd);
+  ctx.mul(term, tmp, term);
+  ctx.exp(term, eb, term);
+  ctx.mul(acc, term, acc);
+  return ctx.from_residue(acc);
+}
+
 // Ring-state table carried as metadata on bridge messages (see header).
 void put_ring_table(net::Payload& payload, const MemberCtx& m) {
   payload.put_u32("tbl_n", static_cast<std::uint32_t>(m.ring.size()));
@@ -171,11 +191,8 @@ RunResult run_join(const SystemParams& params, std::span<MemberCtx> members,
   const BigInt& zn = u1.z_map.at(old_ring[n - 1]);
   // K* = K * (z2 zn)^{-r1} * (z2 z_{n+1})^{r1'}   (Eq. 5)
   u1.ledger.record(Op::kModExp, 2);
-  const BigInt term_down =
-      params.ctx_p->exp(params.ctx_p->mul(z2, zn), (params.grp.q - r1_old));
-  const BigInt term_up = params.ctx_p->exp(
-      params.ctx_p->mul(z2, u1.z_map.at(joiner.cred.id)), r1_new);
-  const BigInt k_star = params.ctx_p->mul(params.ctx_p->mul(old_key, term_down), term_up);
+  const BigInt k_star = rekey_star(*params.ctx_p, old_key, z2, zn, params.grp.q - r1_old,
+                                   z2, u1.z_map.at(joiner.cred.id), r1_new);
   u1.r = r1_new;
   // Deviation (DESIGN.md): publish z1' so the ring stays consistent.
   u1.ledger.record(Op::kModExp);
@@ -618,11 +635,9 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
       params.ctx_p->exp(m1b_at_u1.payload.get_int("z_new"), r1_new);  // g^{r1' rb'}
   const BigInt& z2 = u1.z_map.at(ring_a[1 % n]);
   u1.ledger.record(Op::kModExp, 2);
-  const BigInt ka_down = params.ctx_p->exp(params.ctx_p->mul(z2, z_n),
-                                            (params.grp.q - r1_old));
-  const BigInt ka_up = params.ctx_p->exp(
-      params.ctx_p->mul(z2, m1b_at_u1.payload.get_int("z_last")), r1_new);
-  const BigInt k_star_a = params.ctx_p->mul(params.ctx_p->mul(key_a, ka_down), ka_up);
+  const BigInt k_star_a =
+      rekey_star(*params.ctx_p, key_a, z2, z_n, params.grp.q - r1_old, z2,
+                 m1b_at_u1.payload.get_int("z_last"), r1_new);
   u1.r = r1_new;
 
   net::Message m2a;
@@ -655,11 +670,9 @@ RunResult run_merge(const SystemParams& params, std::span<MemberCtx> group_a,
       params.ctx_p->exp(m1a_at_ub.payload.get_int("z_new"), rb_new);
   const BigInt& z_n2 = ub.z_map.at(ring_b[1 % m_sz]);  // z_{n+2}
   ub.ledger.record(Op::kModExp, 2);
-  const BigInt kb_up = params.ctx_p->exp(
-      params.ctx_p->mul(m1a_at_ub.payload.get_int("z_last"), z_n2), rb_new);
-  const BigInt kb_down = params.ctx_p->exp(params.ctx_p->mul(z_n2, z_nm),
-                                            (params.grp.q - rb_old));
-  const BigInt k_star_b = params.ctx_p->mul(params.ctx_p->mul(key_b, kb_up), kb_down);
+  const BigInt k_star_b =
+      rekey_star(*params.ctx_p, key_b, m1a_at_ub.payload.get_int("z_last"), z_n2, rb_new,
+                 z_n2, z_nm, params.grp.q - rb_old);
   ub.r = rb_new;
 
   net::Message m2b;

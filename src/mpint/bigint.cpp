@@ -37,6 +37,18 @@ BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
   return r;
 }
 
+BigInt BigInt::from_limbs(const Limb* limbs, std::size_t k) {
+  BigInt r;
+  r.limbs_.assign(limbs, limbs + k);
+  r.normalize();
+  return r;
+}
+
+void BigInt::copy_limbs_to(Limb* out, std::size_t k) const {
+  if (!limbs_.empty()) std::memcpy(out, limbs_.data(), limbs_.size() * sizeof(Limb));
+  std::memset(out + limbs_.size(), 0, (k - limbs_.size()) * sizeof(Limb));
+}
+
 BigInt BigInt::from_hex(std::string_view s) {
   bool neg = false;
   if (!s.empty() && (s.front() == '-' || s.front() == '+')) {

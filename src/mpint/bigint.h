@@ -108,8 +108,14 @@ class BigInt {
 
   /// Internal access for performance-sensitive callers (Montgomery kernels).
   [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+  /// Writes the magnitude into `out[0, k)`, zero-padded — the allocation-free
+  /// exit into fixed-width limb buffers (Residue storage, arena scratch).
+  /// Requires limb_count() <= k; the sign is discarded.
+  void copy_limbs_to(Limb* out, std::size_t k) const;
   /// Builds a non-negative value from raw little-endian limbs (normalizes).
   static BigInt from_limbs(std::vector<Limb> limbs);
+  /// Raw-buffer overload: copies `k` limbs (trailing zeros fine).
+  static BigInt from_limbs(const Limb* limbs, std::size_t k);
 
  private:
   static int cmp_mag(const BigInt& a, const BigInt& b);

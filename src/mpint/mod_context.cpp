@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -15,6 +17,7 @@ using Limb = BigInt::Limb;
 
 std::atomic<std::uint64_t> g_exps{0};
 std::atomic<std::uint64_t> g_mod_muls{0};
+std::atomic<std::uint64_t> g_mod_sqrs{0};
 std::atomic<std::uint64_t> g_multi_exps{0};
 
 // -n^{-1} mod 2^64 via Newton iteration (n odd).
@@ -33,11 +36,97 @@ unsigned fit_window(unsigned w, std::size_t exp_bits) {
   return cap < w ? cap : w;
 }
 
-// Left-to-right (MSB-first) fixed-window scan shared by both
-// exponentiation engines: w squarings per window, then one multiply by
-// `table[digit]`. `table[j]` must hold base^j; sqr/mul are the engine
-// primitives. Returns {accumulator, started}; started == false means the
-// exponent was zero.
+// ------------------------------------------------------------------ arena
+//
+// Thread-local bump allocator backing every Montgomery working set: window
+// tables, CIOS scratch, conversion temporaries. The pool is one fixed block
+// allocated at first use per thread; frames mark/release a watermark, so a
+// steady-state exponentiation — any nesting of exp/mul/sqr/comb walks —
+// performs zero heap allocations. A frame that overflows the pool (only the
+// widest Pippenger bucket sets) falls back to individually heap-allocated
+// blocks released with the frame. Pool storage never moves, so pointers
+// handed out by an outer frame stay valid across nested frames.
+
+constexpr std::size_t kPoolLimbs = 16384;  // 128 KiB per thread
+
+class LimbArena {
+ public:
+  Limb* alloc(std::size_t n) {
+    if (pool_.empty()) pool_.resize(kPoolLimbs);  // once per thread
+    if (top_ + n <= pool_.size()) {
+      Limb* p = pool_.data() + top_;
+      top_ += n;
+      return p;
+    }
+    overflow_.push_back(std::make_unique<Limb[]>(n));
+    return overflow_.back().get();
+  }
+
+ private:
+  friend class ArenaFrame;
+  std::vector<Limb> pool_;  // sized once, never resized: stable pointers
+  std::size_t top_ = 0;
+  std::vector<std::unique_ptr<Limb[]>> overflow_;
+};
+
+/// RAII watermark over the thread arena; everything alloc()ed through the
+/// frame is released at scope exit. Buffers are NOT zero-initialized.
+class ArenaFrame {
+ public:
+  explicit ArenaFrame(LimbArena& a)
+      : arena_(a), top_(a.top_), overflow_(a.overflow_.size()) {}
+  ~ArenaFrame() {
+    arena_.top_ = top_;
+    arena_.overflow_.resize(overflow_);
+  }
+  ArenaFrame(const ArenaFrame&) = delete;
+  ArenaFrame& operator=(const ArenaFrame&) = delete;
+
+  Limb* alloc(std::size_t n) { return arena_.alloc(n); }
+
+ private:
+  LimbArena& arena_;
+  std::size_t top_;
+  std::size_t overflow_;
+};
+
+LimbArena& tls_arena() {
+  static thread_local LimbArena arena;
+  return arena;
+}
+
+// Conditional final subtraction shared by both Montgomery kernels: the
+// reduced value is t[0..k) plus carry limb `hi` (0 or 1) and lies in
+// [0, 2n); writes the canonical representative to out. `out` may alias the
+// kernel operands but never `t` (which lives in scratch).
+void reduce_once(const Limb* t, Limb hi, const Limb* n, std::size_t k, Limb* out) {
+  bool ge = hi != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (!ge) {
+    std::memcpy(out, t, k * sizeof(Limb));
+    return;
+  }
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb ti = t[i];
+    const Limb ni = n[i];
+    out[i] = ti - ni - borrow;
+    borrow = (ti < ni || (ti == ni && borrow != 0)) ? 1 : 0;
+  }
+}
+
+// Left-to-right (MSB-first) fixed-window scan used by the generic
+// (even-modulus) engine: w squarings per window, then one multiply by
+// `table[digit]`. Returns {accumulator, started}; started == false means
+// the exponent was zero.
 template <typename T, typename Sqr, typename Mul>
 std::pair<T, bool> scan_windows(const BigInt& e, unsigned w, const std::vector<T>& table,
                                 Sqr&& sqr, Mul&& mul) {
@@ -64,11 +153,18 @@ std::pair<T, bool> scan_windows(const BigInt& e, unsigned w, const std::vector<T
   return {std::move(acc), started};
 }
 
+void check_residue(const ModContext& ctx, const Residue& r) {
+  if (r.size() != ctx.limb_count()) {
+    throw std::invalid_argument("ModContext: residue sized for another context");
+  }
+}
+
 }  // namespace
 
 OpCounts op_counts() {
   return OpCounts{g_exps.load(std::memory_order_relaxed),
                   g_mod_muls.load(std::memory_order_relaxed),
+                  g_mod_sqrs.load(std::memory_order_relaxed),
                   g_multi_exps.load(std::memory_order_relaxed)};
 }
 
@@ -82,16 +178,19 @@ const bool g_crypto_probes = [] {
   obs::Registry::global().register_probe(
       "crypto.mod_muls", [] { return g_mod_muls.load(std::memory_order_relaxed); });
   obs::Registry::global().register_probe(
+      "crypto.mod_sqrs", [] { return g_mod_sqrs.load(std::memory_order_relaxed); });
+  obs::Registry::global().register_probe(
       "crypto.multi_exps", [] { return g_multi_exps.load(std::memory_order_relaxed); });
   return true;
 }();
 }  // namespace
 #endif
 
-std::size_t FixedBaseTable::table_bytes() const {
-  std::size_t total = 0;
-  for (const auto& entry : table_) total += entry.size() * sizeof(Limb);
-  return total;
+Residue::Residue(const ModContext& ctx) { resize(ctx.limb_count()); }
+
+void ModContext::fold(const Ops& ops) const {
+  if (ops.muls != 0) g_mod_muls.fetch_add(ops.muls, std::memory_order_relaxed);
+  if (ops.sqrs != 0) g_mod_sqrs.fetch_add(ops.sqrs, std::memory_order_relaxed);
 }
 
 ModContext::ModContext(BigInt modulus, unsigned window_bits) : n_(std::move(modulus)) {
@@ -105,19 +204,34 @@ ModContext::ModContext(BigInt modulus, unsigned window_bits) : n_(std::move(modu
   k_ = n_limbs_.size();
   n0_inv_ = neg_inv64(n_limbs_[0]);
   rr_ = (BigInt{1} << (2 * 64 * k_)).mod(n_);
-  std::uint64_t muls = 0;
-  one_mont_ = to_mont(BigInt{1}, muls);
+  rr_limbs_ = rr_.limbs();
+  rr_limbs_.resize(k_, 0);
+  // one_mont_ = 1 * R mod n.
+  one_mont_.assign(k_, 0);
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  Limb* one = frame.alloc(k_);
+  std::memset(one, 0, k_ * sizeof(Limb));
+  one[0] = 1;
+  mont_mul_raw(one, rr_limbs_.data(), one_mont_.data(), scratch);
 }
 
-std::vector<Limb> ModContext::mont_mul(const std::vector<Limb>& a,
-                                       const std::vector<Limb>& b) const {
+// ------------------------------------------------------------ raw kernels
+
+void ModContext::mont_mul_raw(const Limb* a, const Limb* b, Limb* out,
+                              Limb* scratch) const {
   // CIOS (coarsely integrated operand scanning), Koc et al.
-  std::vector<Limb> t(k_ + 2, 0);
+  // scratch never aliases the operands and the modulus is never written, so
+  // the restrict qualifiers let stores to t keep a/b/n limbs in registers.
+  Limb* __restrict t = scratch;  // k_ + 2 limbs used
+  std::memset(t, 0, (k_ + 2) * sizeof(Limb));
+  const Limb* __restrict n = n_limbs_.data();
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
+    const Limb ai = a[i];
     Limb carry = 0;
     for (std::size_t j = 0; j < k_; ++j) {
-      const u128 s = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      const u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
       t[j] = static_cast<Limb>(s);
       carry = static_cast<Limb>(s >> 64);
     }
@@ -127,10 +241,10 @@ std::vector<Limb> ModContext::mont_mul(const std::vector<Limb>& a,
 
     // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
     const Limb m = t[0] * n0_inv_;
-    s = static_cast<u128>(m) * n_limbs_[0] + t[0];
+    s = static_cast<u128>(m) * n[0] + t[0];
     carry = static_cast<Limb>(s >> 64);
     for (std::size_t j = 1; j < k_; ++j) {
-      s = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      s = static_cast<u128>(m) * n[j] + t[j] + carry;
       t[j - 1] = static_cast<Limb>(s);
       carry = static_cast<Limb>(s >> 64);
     }
@@ -139,100 +253,160 @@ std::vector<Limb> ModContext::mont_mul(const std::vector<Limb>& a,
     t[k_] = t[k_ + 1] + static_cast<Limb>(s >> 64);
     t[k_ + 1] = 0;
   }
-
-  // Conditional final subtraction: result may be in [0, 2n).
-  std::vector<Limb> r(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
-  bool ge = t[k_] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = k_; i-- > 0;) {
-      if (r[i] != n_limbs_[i]) {
-        ge = r[i] > n_limbs_[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    Limb borrow = 0;
-    for (std::size_t i = 0; i < k_; ++i) {
-      const Limb ni = n_limbs_[i];
-      const Limb before = r[i];
-      const Limb after = before - ni - borrow;
-      borrow = (before < ni || (before == ni && borrow != 0)) ? 1 : 0;
-      r[i] = after;
-    }
-  }
-  return r;
+  reduce_once(t, t[k_], n, k_, out);
 }
 
-std::vector<Limb> ModContext::to_mont(const BigInt& a, std::uint64_t& muls) const {
+void ModContext::mont_sqr_raw(const Limb* a, Limb* out, Limb* scratch) const {
+  // Operand-scanning squaring: compute the off-diagonal products once,
+  // double them, add the diagonal, then run a separated (SOS) Montgomery
+  // reduction over the double-width result. Versus the general CIOS product
+  // this trades 2k^2 limb multiplications for ~1.5k^2 + k.
+  const std::size_t k = k_;
+  Limb* __restrict t = scratch;  // 2k + 2 limbs used
+  const Limb* __restrict n = n_limbs_.data();
+
+  // Off-diagonal cross products a[i]*a[j], j > i. Row 0 writes t[1 .. k-1]
+  // fresh (nothing to accumulate — skipping the reads also makes the
+  // full-width memset unnecessary); row i >= 1 accumulates into t[2i+1 ..
+  // i+k-1], all written by earlier rows, and its final carry lands in
+  // t[i+k] — untouched so far, so a plain store suffices.
+  {
+    const Limb a0 = a[0];
+    Limb carry = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      const u128 s = static_cast<u128>(a0) * a[j] + carry;
+      t[j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    t[k] = carry;
+  }
+  for (std::size_t i = 1; i + 1 < k; ++i) {
+    const Limb ai = a[i];
+    Limb carry = 0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    t[i + k] = carry;
+  }
+  // The rows above covered t[1 .. 2k-2]; only these four were never written.
+  t[0] = 0;
+  t[2 * k - 1] = 0;
+  t[2 * k] = 0;
+  t[2 * k + 1] = 0;
+
+  // Each cross product appears twice in the square: double the partial sum
+  // (one-bit left shift — cross terms occupy t[1 .. 2k-2], so nothing
+  // shifts out of t[2k-1]) and add the diagonal a[i]^2 terms, fused into a
+  // single pass over even/odd limb pairs. a^2 < n^2 fits in 2k limbs, so
+  // both the final shift bit and the final diagonal carry are zero.
+  Limb top_bit = 0;
+  Limb carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    Limb lo = t[2 * i];
+    const Limb lo_top = lo >> 63;
+    lo = (lo << 1) | top_bit;
+    Limb hi = t[2 * i + 1];
+    top_bit = hi >> 63;
+    hi = (hi << 1) | lo_top;
+    u128 s = static_cast<u128>(a[i]) * a[i] + lo + carry;
+    t[2 * i] = static_cast<Limb>(s);
+    s = static_cast<u128>(hi) + static_cast<Limb>(s >> 64);
+    t[2 * i + 1] = static_cast<Limb>(s);
+    carry = static_cast<Limb>(s >> 64);
+  }
+
+  // Separated Montgomery reduction: k rounds of t += (t[i] * n' mod 2^64)
+  // * n << 64i, each zeroing limb i; the reduced value is t / R = t[k ..
+  // 2k]. Round i's carry lands at t[i+k], and any overflow there belongs at
+  // t[i+k+1] — exactly round i+1's carry position — so a single held limb
+  // forwards it without the data-dependent ripple walk (and its
+  // mispredicted branch) a generic SOS loop needs.
+  Limb hold = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb m = t[i] * n0_inv_;
+    Limb c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 s = static_cast<u128>(m) * n[j] + t[i + j] + c;
+      t[i + j] = static_cast<Limb>(s);
+      c = static_cast<Limb>(s >> 64);
+    }
+    const u128 s = static_cast<u128>(t[i + k]) + c + hold;
+    t[i + k] = static_cast<Limb>(s);
+    hold = static_cast<Limb>(s >> 64);
+  }
+  // The running total stays below 2 R^2, so the final hold stops at t[2k].
+  t[2 * k] += hold;
+  reduce_once(t + k, t[2 * k], n, k, out);
+}
+
+void ModContext::load_canonical(const BigInt& a, Limb* out) const {
   // Operands are usually already in [0, n); skip the division then.
-  std::vector<Limb> al = (!a.negative() && a < n_) ? a.limbs() : a.mod(n_).limbs();
-  al.resize(k_, 0);
-  std::vector<Limb> rr = rr_.limbs();
-  rr.resize(k_, 0);
-  ++muls;
-  return mont_mul(al, rr);
-}
-
-BigInt ModContext::from_mont(const std::vector<Limb>& a, std::uint64_t& muls) const {
-  std::vector<Limb> one(k_, 0);
-  one[0] = 1;
-  ++muls;
-  return BigInt::from_limbs(mont_mul(a, one));
-}
-
-BigInt ModContext::mul(const BigInt& a, const BigInt& b) const {
-  std::uint64_t muls = 0;
-  BigInt r;
-  if (mont_) {
-    ++muls;
-    r = from_mont(mont_mul(to_mont(a, muls), to_mont(b, muls)), muls);
+  if (!a.negative() && a < n_) {
+    a.copy_limbs_to(out, k_);
   } else {
-    ++muls;
-    r = (a * b).mod(n_);
+    a.mod(n_).copy_limbs_to(out, k_);
   }
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
-  return r;
 }
 
-BigInt ModContext::inv(const BigInt& a) const { return mod_inverse(a, n_); }
-
-BigInt ModContext::exp_mont(const BigInt& base, const BigInt& e, std::uint64_t& muls) const {
-  const std::size_t bits = e.bit_length();
-  if (bits == 0) return BigInt{1}.mod(n_);
-  return from_mont(exp_mont_core(to_mont(base, muls), e, muls), muls);
+void ModContext::to_mont_raw(const BigInt& a, Limb* out, Limb* scratch, Ops& ops) const {
+  ArenaFrame frame(tls_arena());
+  Limb* tmp = frame.alloc(k_);
+  load_canonical(a, tmp);
+  ++ops.muls;
+  mont_mul_raw(tmp, rr_limbs_.data(), out, scratch);
 }
 
-std::vector<Limb> ModContext::exp_mont_core(const std::vector<Limb>& base_m, const BigInt& e,
-                                            std::uint64_t& muls) const {
+BigInt ModContext::from_mont_raw(const Limb* a, Limb* scratch, Ops& ops) const {
+  ArenaFrame frame(tls_arena());
+  Limb* one = frame.alloc(k_);
+  std::memset(one, 0, k_ * sizeof(Limb));
+  one[0] = 1;
+  Limb* res = frame.alloc(k_);
+  ++ops.muls;
+  mont_mul_raw(a, one, res, scratch);
+  return BigInt::from_limbs(res, k_);
+}
+
+// ------------------------------------------------------- exponentiation
+
+void ModContext::exp_mont_raw(const Limb* base, const BigInt& e, Limb* out,
+                              Ops& ops) const {
   const std::size_t bits = e.bit_length();
-  if (bits == 0) return one_mont_;
+  if (bits == 0) {
+    std::memcpy(out, one_mont_.data(), k_ * sizeof(Limb));
+    return;
+  }
 
   // Sliding-window exponentiation over odd powers only: the table holds
   // base^1, base^3, ..., base^(2^w - 1), which halves the precompute cost
   // versus a full 2^w table, and windows are anchored on set bits so runs
-  // of zeros cost squarings alone.
+  // of zeros cost squarings alone. `out` may alias `base`: the base is
+  // copied into the table before the accumulator is first written.
   const unsigned w = fit_window(window_, bits);
   const std::size_t tsize = std::size_t{1} << (w - 1);
-  std::vector<std::vector<Limb>> odd(tsize);
-  odd[0] = base_m;
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  Limb* odd = frame.alloc(tsize * k_);  // odd + j*k_ holds base^(2j+1)
+  std::memcpy(odd, base, k_ * sizeof(Limb));
   if (tsize > 1) {
-    ++muls;
-    const std::vector<Limb> sq = mont_mul(odd[0], odd[0]);
+    Limb* sq = frame.alloc(k_);
+    ++ops.sqrs;
+    mont_sqr_raw(odd, sq, scratch);
     for (std::size_t j = 1; j < tsize; ++j) {
-      ++muls;
-      odd[j] = mont_mul(odd[j - 1], sq);
+      ++ops.muls;
+      mont_mul_raw(odd + (j - 1) * k_, sq, odd + j * k_, scratch);
     }
   }
 
-  std::vector<Limb> acc;
+  Limb* acc = out;
   bool started = false;
   std::ptrdiff_t i = static_cast<std::ptrdiff_t>(bits) - 1;
   while (i >= 0) {
     if (!e.bit(static_cast<std::size_t>(i))) {
-      ++muls;
-      acc = mont_mul(acc, acc);
+      ++ops.sqrs;
+      mont_sqr_raw(acc, acc, scratch);
       --i;
       continue;
     }
@@ -246,22 +420,30 @@ std::vector<Limb> ModContext::exp_mont_core(const std::vector<Limb>& base_m, con
     }
     if (started) {
       for (std::ptrdiff_t b = i; b >= j; --b) {
-        ++muls;
-        acc = mont_mul(acc, acc);
+        ++ops.sqrs;
+        mont_sqr_raw(acc, acc, scratch);
       }
-      ++muls;
-      acc = mont_mul(acc, odd[digit >> 1]);
+      ++ops.muls;
+      mont_mul_raw(acc, odd + (digit >> 1) * k_, acc, scratch);
     } else {
-      acc = odd[digit >> 1];
+      std::memcpy(acc, odd + (digit >> 1) * k_, k_ * sizeof(Limb));
       started = true;
     }
     i = j - 1;
   }
-  return acc;
 }
 
-BigInt ModContext::exp_generic(const BigInt& base, const BigInt& e,
-                               std::uint64_t& muls) const {
+BigInt ModContext::exp_mont(const BigInt& base, const BigInt& e, Ops& ops) const {
+  if (e.bit_length() == 0) return BigInt{1}.mod(n_);
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  Limb* acc = frame.alloc(k_);
+  to_mont_raw(base, acc, scratch, ops);
+  exp_mont_raw(acc, e, acc, ops);
+  return from_mont_raw(acc, scratch, ops);
+}
+
+BigInt ModContext::exp_generic(const BigInt& base, const BigInt& e, Ops& ops) const {
   const std::size_t bits = e.bit_length();
   if (bits == 0) return BigInt{1}.mod(n_);
 
@@ -270,35 +452,60 @@ BigInt ModContext::exp_generic(const BigInt& base, const BigInt& e,
   table[0] = BigInt{1};
   table[1] = base.mod(n_);
   for (std::size_t j = 2; j < table.size(); ++j) {
-    ++muls;
+    ++ops.muls;
     table[j] = (table[j - 1] * table[1]).mod(n_);
   }
 
   auto [acc, started] = scan_windows(
       e, w, table,
       [&](const BigInt& a) {
-        ++muls;
+        ++ops.sqrs;
         return (a * a).mod(n_);
       },
       [&](const BigInt& a, const BigInt& b) {
-        ++muls;
+        ++ops.muls;
         return (a * b).mod(n_);
       });
   return started ? acc : BigInt{1};  // unreachable fallback: bits > 0 here
 }
 
-BigInt ModContext::exp_any(const BigInt& base, const BigInt& e, std::uint64_t& muls) const {
-  if (e.negative()) return exp_any(mod_inverse(base, n_), -e, muls);
-  return mont_ ? exp_mont(base, e, muls) : exp_generic(base, e, muls);
+BigInt ModContext::exp_any(const BigInt& base, const BigInt& e, Ops& ops) const {
+  if (e.negative()) return exp_any(mod_inverse(base, n_), -e, ops);
+  return mont_ ? exp_mont(base, e, ops) : exp_generic(base, e, ops);
 }
 
 BigInt ModContext::exp(const BigInt& base, const BigInt& e) const {
-  std::uint64_t muls = 0;
-  BigInt r = exp_any(base, e, muls);
+  Ops ops;
+  BigInt r = exp_any(base, e, ops);
   g_exps.fetch_add(1, std::memory_order_relaxed);
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  fold(ops);
   return r;
 }
+
+BigInt ModContext::mul(const BigInt& a, const BigInt& b) const {
+  Ops ops;
+  BigInt r;
+  if (mont_) {
+    ArenaFrame frame(tls_arena());
+    Limb* scratch = frame.alloc(2 * k_ + 2);
+    Limb* am = frame.alloc(k_);
+    Limb* bm = frame.alloc(k_);
+    to_mont_raw(a, am, scratch, ops);
+    to_mont_raw(b, bm, scratch, ops);
+    ++ops.muls;
+    mont_mul_raw(am, bm, am, scratch);
+    r = from_mont_raw(am, scratch, ops);
+  } else {
+    ++ops.muls;
+    r = (a * b).mod(n_);
+  }
+  fold(ops);
+  return r;
+}
+
+BigInt ModContext::inv(const BigInt& a) const { return mod_inverse(a, n_); }
+
+// ---------------------------------------------------- multi-exponentiation
 
 namespace {
 
@@ -322,64 +529,69 @@ std::size_t max_exp_bits(std::span<const BigInt* const> exps) {
 // Shamir/Straus interleaved joint exponentiation: one shared squaring chain
 // over the widest exponent, with a per-base window table. Per window
 // position: w squarings plus at most one table multiply per base.
-std::vector<Limb> ModContext::straus_mont(std::span<const std::vector<Limb>* const> bases,
-                                          std::span<const BigInt* const> exps,
-                                          std::uint64_t& muls) const {
+void ModContext::straus_mont(std::span<const Residue* const> bases,
+                             std::span<const BigInt* const> exps, Limb* out,
+                             Ops& ops) const {
   const std::size_t arity = bases.size();
-  if (arity == 1) return exp_mont_core(*bases[0], *exps[0], muls);
+  if (arity == 1) {
+    exp_mont_raw(bases[0]->limbs(), *exps[0], out, ops);
+    return;
+  }
   const std::size_t bits = max_exp_bits(exps);
   const unsigned w = fit_window(window_, bits);
   const std::size_t windows = (bits + w - 1) / w;
 
-  // tables[t][j] = base_t^j (j >= 1) in the Montgomery domain, built lazily
-  // up to the largest window digit that exponent actually produces — a term
-  // with a short or sparse exponent pays only for the powers it uses.
-  std::vector<std::vector<std::vector<Limb>>> tables(arity);
+  // tables[t] + j*k_ = base_t^j (j >= 1) in the Montgomery domain, built
+  // lazily up to the largest window digit that exponent actually produces —
+  // a term with a short or sparse exponent pays only for the powers it uses.
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  std::vector<Limb*> tables(arity, nullptr);
   for (std::size_t t = 0; t < arity; ++t) {
     std::size_t max_digit = 0;
     for (std::size_t win = 0; win < windows; ++win) {
       max_digit = std::max(max_digit, exp_digit(*exps[t], win * w, w));
     }
-    auto& table = tables[t];
-    table.resize(max_digit + 1);
-    if (max_digit >= 1) table[1] = *bases[t];
-    for (std::size_t j = 2; j < table.size(); ++j) {
-      ++muls;
-      table[j] = mont_mul(table[j - 1], table[1]);
+    if (max_digit == 0) continue;
+    Limb* table = frame.alloc((max_digit + 1) * k_);
+    tables[t] = table;
+    std::memcpy(table + k_, bases[t]->limbs(), k_ * sizeof(Limb));
+    for (std::size_t j = 2; j <= max_digit; ++j) {
+      ++ops.muls;
+      mont_mul_raw(table + (j - 1) * k_, table + k_, table + j * k_, scratch);
     }
   }
 
-  std::vector<Limb> acc;
   bool started = false;
   for (std::size_t win = windows; win-- > 0;) {
     if (started) {
       for (unsigned s = 0; s < w; ++s) {
-        ++muls;
-        acc = mont_mul(acc, acc);
+        ++ops.sqrs;
+        mont_sqr_raw(out, out, scratch);
       }
     }
     for (std::size_t t = 0; t < arity; ++t) {
       const std::size_t digit = exp_digit(*exps[t], win * w, w);
       if (digit == 0) continue;
       if (started) {
-        ++muls;
-        acc = mont_mul(acc, tables[t][digit]);
+        ++ops.muls;
+        mont_mul_raw(out, tables[t] + digit * k_, out, scratch);
       } else {
-        acc = tables[t][digit];
+        std::memcpy(out, tables[t] + digit * k_, k_ * sizeof(Limb));
         started = true;
       }
     }
   }
-  return started ? acc : one_mont_;
+  if (!started) std::memcpy(out, one_mont_.data(), k_ * sizeof(Limb));
 }
 
 // Pippenger bucket aggregation for wide products: per c-bit window, each
 // base lands in the bucket of its digit, and the window sum
 // prod_j bucket[j]^j falls out of one suffix-product sweep — per-window
 // cost is O(n + 2^c) multiplies instead of O(n * c) squarings.
-std::vector<Limb> ModContext::pippenger_mont(std::span<const std::vector<Limb>* const> bases,
-                                             std::span<const BigInt* const> exps,
-                                             std::uint64_t& muls) const {
+void ModContext::pippenger_mont(std::span<const Residue* const> bases,
+                                std::span<const BigInt* const> exps, Limb* out,
+                                Ops& ops) const {
   const std::size_t n = bases.size();
   const std::size_t bits = max_exp_bits(exps);
 
@@ -401,91 +613,105 @@ std::vector<Limb> ModContext::pippenger_mont(std::span<const std::vector<Limb>* 
   }
 
   const std::size_t windows = (bits + c - 1) / c;
-  std::vector<std::vector<Limb>> bucket(std::size_t{1} << c);
-  std::vector<Limb> acc;
+  const std::size_t nbuckets = std::size_t{1} << c;
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  Limb* bucket = frame.alloc(nbuckets * k_);
+  Limb* occupied = frame.alloc(nbuckets);  // 0/1 flags, limb-sized for arena reuse
+  Limb* running = frame.alloc(k_);
+  Limb* wsum = frame.alloc(k_);
   bool started = false;
   for (std::size_t win = windows; win-- > 0;) {
     if (started) {
       for (unsigned s = 0; s < c; ++s) {
-        ++muls;
-        acc = mont_mul(acc, acc);
+        ++ops.sqrs;
+        mont_sqr_raw(out, out, scratch);
       }
     }
-    for (auto& b : bucket) b.clear();
+    std::memset(occupied, 0, nbuckets * sizeof(Limb));
     for (std::size_t t = 0; t < n; ++t) {
       const std::size_t digit = exp_digit(*exps[t], win * c, c);
       if (digit == 0) continue;
-      if (bucket[digit].empty()) {
-        bucket[digit] = *bases[t];
+      Limb* slot = bucket + digit * k_;
+      if (occupied[digit] == 0) {
+        std::memcpy(slot, bases[t]->limbs(), k_ * sizeof(Limb));
+        occupied[digit] = 1;
       } else {
-        ++muls;
-        bucket[digit] = mont_mul(bucket[digit], *bases[t]);
+        ++ops.muls;
+        mont_mul_raw(slot, bases[t]->limbs(), slot, scratch);
       }
     }
     // prod_j bucket[j]^j == prod of running suffix products.
-    std::vector<Limb> running;
-    std::vector<Limb> wsum;
-    for (std::size_t j = bucket.size(); j-- > 1;) {
-      if (!bucket[j].empty()) {
-        if (running.empty()) {
-          running = bucket[j];
+    bool have_running = false;
+    bool have_wsum = false;
+    for (std::size_t j = nbuckets; j-- > 1;) {
+      if (occupied[j] != 0) {
+        if (!have_running) {
+          std::memcpy(running, bucket + j * k_, k_ * sizeof(Limb));
+          have_running = true;
         } else {
-          ++muls;
-          running = mont_mul(running, bucket[j]);
+          ++ops.muls;
+          mont_mul_raw(running, bucket + j * k_, running, scratch);
         }
       }
-      if (running.empty()) continue;
-      if (wsum.empty()) {
-        wsum = running;
+      if (!have_running) continue;
+      if (!have_wsum) {
+        std::memcpy(wsum, running, k_ * sizeof(Limb));
+        have_wsum = true;
       } else {
-        ++muls;
-        wsum = mont_mul(wsum, running);
+        ++ops.muls;
+        mont_mul_raw(wsum, running, wsum, scratch);
       }
     }
-    if (wsum.empty()) continue;
+    if (!have_wsum) continue;
     if (started) {
-      ++muls;
-      acc = mont_mul(acc, wsum);
+      ++ops.muls;
+      mont_mul_raw(out, wsum, out, scratch);
     } else {
-      acc = std::move(wsum);
+      std::memcpy(out, wsum, k_ * sizeof(Limb));
       started = true;
     }
   }
-  return started ? acc : one_mont_;
+  if (!started) std::memcpy(out, one_mont_.data(), k_ * sizeof(Limb));
 }
 
 BigInt ModContext::multi_exp(std::span<const BigInt> bases, std::span<const BigInt> exps) const {
   if (bases.size() != exps.size()) {
     throw std::invalid_argument("ModContext::multi_exp: bases/exps size mismatch");
   }
-  std::uint64_t muls = 0;
+  Ops ops;
   BigInt r;
   if (!mont_) {
     // Even-modulus fallback: sequential generic exponentiation.
     r = BigInt{1}.mod(n_);
     for (std::size_t i = 0; i < bases.size(); ++i) {
       if (exps[i].is_zero()) continue;
-      ++muls;
-      r = (r * exp_any(bases[i], exps[i], muls)).mod(n_);
+      ++ops.muls;
+      r = (r * exp_any(bases[i], exps[i], ops)).mod(n_);
     }
   } else {
     // Terms with negative exponents swap in the inverted base; zero
-    // exponents drop out. Everything else is partitioned by exponent width.
+    // exponents drop out. Everything else is partitioned by exponent width:
+    // narrow exponents (<= 64 bits) and wide ones run as separate joint
+    // products so a batch of small scalars never pays wide-ladder squarings.
     std::vector<BigInt> inverted;
     inverted.reserve(bases.size());
-    std::vector<std::vector<Limb>> mont_bases(bases.size());
-    std::vector<const std::vector<Limb>*> narrow_b, wide_b;
+    std::vector<Residue> mont_bases(bases.size());
+    std::vector<const Residue*> narrow_b, wide_b;
     std::vector<const BigInt*> narrow_e, wide_e;
     constexpr std::size_t kNarrowBits = 64;
+    ArenaFrame frame(tls_arena());
+    Limb* scratch = frame.alloc(2 * k_ + 2);
     for (std::size_t i = 0; i < bases.size(); ++i) {
       if (exps[i].is_zero()) continue;
       const BigInt* e = &exps[i];
+      mont_bases[i].resize(k_);
       if (e->negative()) {
         inverted.push_back(-exps[i]);
-        mont_bases[i] = to_mont(mod_inverse(bases[i], n_), muls);
+        to_mont_raw(mod_inverse(bases[i], n_), mont_bases[i].limbs(), scratch, ops);
         e = &inverted.back();
       } else {
-        mont_bases[i] = to_mont(bases[i], muls);
+        to_mont_raw(bases[i], mont_bases[i].limbs(), scratch, ops);
       }
       if (e->bit_length() <= kNarrowBits) {
         narrow_b.push_back(&mont_bases[i]);
@@ -495,31 +721,36 @@ BigInt ModContext::multi_exp(std::span<const BigInt> bases, std::span<const BigI
         wide_e.push_back(e);
       }
     }
-    std::vector<Limb> acc = one_mont_;
+    Limb* acc = frame.alloc(k_);
+    Limb* part = frame.alloc(k_);
     bool have = false;
     for (const bool narrow : {true, false}) {
       const auto& b = narrow ? narrow_b : wide_b;
       const auto& e = narrow ? narrow_e : wide_e;
       if (b.empty()) continue;
-      std::vector<Limb> part = b.size() <= 8 ? straus_mont(b, e, muls)
-                                             : pippenger_mont(b, e, muls);
-      if (have) {
-        ++muls;
-        acc = mont_mul(acc, part);
+      if (b.size() <= 8) {
+        straus_mont(b, e, part, ops);
       } else {
-        acc = std::move(part);
+        pippenger_mont(b, e, part, ops);
+      }
+      if (have) {
+        ++ops.muls;
+        mont_mul_raw(acc, part, acc, scratch);
+      } else {
+        std::memcpy(acc, part, k_ * sizeof(Limb));
         have = true;
       }
     }
-    r = from_mont(acc, muls);
+    if (!have) std::memcpy(acc, one_mont_.data(), k_ * sizeof(Limb));
+    r = from_mont_raw(acc, scratch, ops);
   }
   g_multi_exps.fetch_add(1, std::memory_order_relaxed);
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  fold(ops);
   return r;
 }
 
 BigInt ModContext::product(std::span<const BigInt> values) const {
-  std::uint64_t muls = 0;
+  Ops ops;
   BigInt r;
   if (values.empty()) {
     r = BigInt{1}.mod(n_);
@@ -528,78 +759,88 @@ BigInt ModContext::product(std::span<const BigInt> values) const {
     // accumulates an R^{-(k-1)} deficit across k factors, cancelled by a
     // single multiply with R^k (i.e. the Montgomery form of R^{k-1}) — so
     // a k-term product costs k + O(log k) multiplies, not 2k.
-    const auto canon = [this](const BigInt& v) {
-      std::vector<Limb> l = (!v.negative() && v < n_) ? v.limbs() : v.mod(n_).limbs();
-      l.resize(k_, 0);
-      return l;
-    };
-    std::vector<Limb> acc = canon(values[0]);
+    ArenaFrame frame(tls_arena());
+    Limb* scratch = frame.alloc(2 * k_ + 2);
+    Limb* acc = frame.alloc(k_);
+    Limb* tmp = frame.alloc(k_);
+    load_canonical(values[0], acc);
     for (std::size_t i = 1; i < values.size(); ++i) {
-      ++muls;
-      acc = mont_mul(acc, canon(values[i]));
+      load_canonical(values[i], tmp);
+      ++ops.muls;
+      mont_mul_raw(acc, tmp, acc, scratch);
     }
     const std::uint64_t deficit = values.size() - 1;
     if (deficit > 0) {
-      std::vector<Limb> rr = rr_.limbs();
-      rr.resize(k_, 0);
-      const std::vector<Limb> fix = exp_mont_core(rr, BigInt{deficit}, muls);
-      ++muls;
-      acc = mont_mul(acc, fix);
+      Limb* fix = frame.alloc(k_);
+      exp_mont_raw(rr_limbs_.data(), BigInt{deficit}, fix, ops);
+      ++ops.muls;
+      mont_mul_raw(acc, fix, acc, scratch);
     }
-    r = BigInt::from_limbs(acc);
+    r = BigInt::from_limbs(acc, k_);
   } else {
     r = values[0].mod(n_);
     for (std::size_t i = 1; i < values.size(); ++i) {
-      ++muls;
+      ++ops.muls;
       r = (r * values[i]).mod(n_);
     }
   }
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  fold(ops);
   return r;
 }
 
-BigInt ModContext::exp_comb(const FixedBaseTable& table, const BigInt& e,
-                            std::uint64_t& muls) const {
+// ------------------------------------------------------- fixed-base comb
+
+void ModContext::exp_comb_raw(const FixedBaseTable& table, const BigInt& e, Limb* out,
+                              Ops& ops) const {
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
   const std::size_t d = table.block_;
-  std::vector<Limb> acc;
   bool started = false;
-  for (std::size_t k = d; k-- > 0;) {
+  for (std::size_t pos = d; pos-- > 0;) {
     if (started) {
-      ++muls;
-      acc = mont_mul(acc, acc);
+      ++ops.sqrs;
+      mont_sqr_raw(out, out, scratch);
     }
     std::size_t digit = 0;
     for (unsigned tooth = 0; tooth < table.teeth_; ++tooth) {
-      if (e.bit(tooth * d + k)) digit |= std::size_t{1} << tooth;
+      if (e.bit(tooth * d + pos)) digit |= std::size_t{1} << tooth;
     }
     if (digit != 0) {
       if (started) {
-        ++muls;
-        acc = mont_mul(acc, table.table_[digit]);
+        ++ops.muls;
+        mont_mul_raw(out, table.entry(digit), out, scratch);
       } else {
-        acc = table.table_[digit];
+        std::memcpy(out, table.entry(digit), k_ * sizeof(Limb));
         started = true;
       }
     }
   }
-  if (!started) return BigInt{1}.mod(n_);  // e == 0
-  return from_mont(acc, muls);
+  if (!started) std::memcpy(out, one_mont_.data(), k_ * sizeof(Limb));  // e == 0
+}
+
+BigInt ModContext::exp_comb(const FixedBaseTable& table, const BigInt& e,
+                            Ops& ops) const {
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  Limb* acc = frame.alloc(k_);
+  exp_comb_raw(table, e, acc, ops);
+  return from_mont_raw(acc, scratch, ops);
 }
 
 BigInt ModContext::exp(const FixedBaseTable& table, const BigInt& e) const {
   if (table.mod_fingerprint_ != n_.limbs()) {
     throw std::invalid_argument("ModContext::exp: fixed-base table from another modulus");
   }
-  std::uint64_t muls = 0;
+  Ops ops;
   BigInt r;
   if (table.comb_available() && mont_ && !e.negative() &&
       e.bit_length() <= table.bits_) {
-    r = exp_comb(table, e, muls);
+    r = exp_comb(table, e, ops);
   } else {
-    r = exp_any(table.base_, e, muls);
+    r = exp_any(table.base_, e, ops);
   }
   g_exps.fetch_add(1, std::memory_order_relaxed);
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  fold(ops);
   return r;
 }
 
@@ -614,35 +855,235 @@ FixedBaseTable ModContext::make_fixed_base(const BigInt& base, std::size_t max_e
   const unsigned h = teeth == 0 ? 6 : (teeth > 8 ? 8 : teeth);
   t.teeth_ = h;
   t.block_ = (t.bits_ + h - 1) / h;
+  t.stride_ = k_;
 
-  std::uint64_t muls = 0;
+  Ops ops;
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
   // P[i] = base^(2^(i*d)) in Montgomery form.
-  std::vector<std::vector<Limb>> p(h);
-  p[0] = to_mont(t.base_, muls);
+  Limb* p = frame.alloc(h * k_);
+  to_mont_raw(t.base_, p, scratch, ops);
   for (unsigned i = 1; i < h; ++i) {
-    p[i] = p[i - 1];
+    Limb* pi = p + i * k_;
+    std::memcpy(pi, p + (i - 1) * k_, k_ * sizeof(Limb));
     for (std::size_t s = 0; s < t.block_; ++s) {
-      ++muls;
-      p[i] = mont_mul(p[i], p[i]);
+      ++ops.sqrs;
+      mont_sqr_raw(pi, pi, scratch);
     }
   }
   // T[j] = prod over set bits i of j: P[i]; filled via lowest-set-bit split.
-  t.table_.assign(std::size_t{1} << h, {});
-  t.table_[0] = one_mont_;
-  for (std::size_t j = 1; j < t.table_.size(); ++j) {
+  t.table_.assign((std::size_t{1} << h) * k_, 0);
+  Limb* tab = t.table_.data();
+  std::memcpy(tab, one_mont_.data(), k_ * sizeof(Limb));
+  for (std::size_t j = 1; j < (std::size_t{1} << h); ++j) {
     unsigned low = 0;
     while (((j >> low) & 1U) == 0) ++low;
     const std::size_t rest = j & (j - 1);
     if (rest == 0) {
-      t.table_[j] = p[low];
+      std::memcpy(tab + j * k_, p + low * k_, k_ * sizeof(Limb));
     } else {
-      ++muls;
-      t.table_[j] = mont_mul(t.table_[rest], p[low]);
+      ++ops.muls;
+      mont_mul_raw(tab + rest * k_, p + low * k_, tab + j * k_, scratch);
     }
   }
-  g_mod_muls.fetch_add(muls, std::memory_order_relaxed);
+  fold(ops);
   return t;
 }
+
+// ----------------------------------------------------------- residue API
+
+Residue ModContext::to_residue(const BigInt& a) const {
+  Residue r;
+  r.resize(limb_count());
+  if (mont_) {
+    Ops ops;
+    ArenaFrame frame(tls_arena());
+    Limb* scratch = frame.alloc(2 * k_ + 2);
+    to_mont_raw(a, r.limbs(), scratch, ops);
+    fold(ops);
+  } else if (!a.negative() && a < n_) {
+    a.copy_limbs_to(r.limbs(), r.size());
+  } else {
+    a.mod(n_).copy_limbs_to(r.limbs(), r.size());
+  }
+  return r;
+}
+
+BigInt ModContext::from_residue(const Residue& r) const {
+  check_residue(*this, r);
+  if (!mont_) return BigInt::from_limbs(r.limbs(), r.size());
+  Ops ops;
+  ArenaFrame frame(tls_arena());
+  Limb* scratch = frame.alloc(2 * k_ + 2);
+  BigInt out = from_mont_raw(r.limbs(), scratch, ops);
+  fold(ops);
+  return out;
+}
+
+Residue ModContext::one_residue() const {
+  Residue r;
+  if (mont_) {
+    r.assign(one_mont_.data(), k_);
+  } else {
+    r.resize(limb_count());
+    r.limbs()[0] = 1;  // n > 1, so 1 is canonical
+  }
+  return r;
+}
+
+void ModContext::add(const Residue& a, const Residue& b, Residue& out) const {
+  check_residue(*this, a);
+  check_residue(*this, b);
+  // Works identically in both domains (Montgomery form and canonical values
+  // are linear); the even-modulus path has no precomputed n_limbs_, so take
+  // the limbs straight from the modulus.
+  const std::size_t k = limb_count();
+  const Limb* n = mont_ ? n_limbs_.data() : n_.limbs().data();
+  if (out.size() != k) out.resize(k);
+  const Limb* pa = a.limbs();
+  const Limb* pb = b.limbs();
+  Limb* po = out.limbs();
+  Limb carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 s = static_cast<u128>(pa[i]) + pb[i] + carry;
+    po[i] = static_cast<Limb>(s);
+    carry = static_cast<Limb>(s >> 64);
+  }
+  // Operands are < n, so the sum is < 2n: reduce_once settles it (and is
+  // safe with t == out — it decides before it writes).
+  reduce_once(po, carry, n, k, po);
+}
+
+void ModContext::sub(const Residue& a, const Residue& b, Residue& out) const {
+  check_residue(*this, a);
+  check_residue(*this, b);
+  const std::size_t k = limb_count();
+  const Limb* n = mont_ ? n_limbs_.data() : n_.limbs().data();
+  if (out.size() != k) out.resize(k);
+  const Limb* pa = a.limbs();
+  const Limb* pb = b.limbs();
+  Limb* po = out.limbs();
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb ai = pa[i];
+    const Limb bi = pb[i];
+    po[i] = ai - bi - borrow;
+    borrow = (ai < bi || (ai == bi && borrow != 0)) ? 1 : 0;
+  }
+  if (borrow != 0) {  // a < b: wrap back into [0, n) by adding the modulus
+    Limb carry = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u128 s = static_cast<u128>(po[i]) + n[i] + carry;
+      po[i] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+  }
+}
+
+void ModContext::mul(const Residue& a, const Residue& b, Residue& out) const {
+  check_residue(*this, a);
+  check_residue(*this, b);
+  Ops ops;
+  if (mont_) {
+    if (out.size() != k_) out.resize(k_);
+    ++ops.muls;
+    // Single-kernel call: a small stack buffer beats even the bump arena
+    // (no TLS access, no frame bookkeeping) for inline-width moduli.
+    if (k_ <= Residue::kInlineLimbs) {
+      Limb scratch[2 * Residue::kInlineLimbs + 2];
+      mont_mul_raw(a.limbs(), b.limbs(), out.limbs(), scratch);
+    } else {
+      ArenaFrame frame(tls_arena());
+      mont_mul_raw(a.limbs(), b.limbs(), out.limbs(), frame.alloc(2 * k_ + 2));
+    }
+  } else {
+    // Even-modulus fallback: schoolbook through BigInt (may allocate).
+    ++ops.muls;
+    const BigInt r =
+        (BigInt::from_limbs(a.limbs(), a.size()) * BigInt::from_limbs(b.limbs(), b.size()))
+            .mod(n_);
+    out.resize(limb_count());
+    r.copy_limbs_to(out.limbs(), out.size());
+  }
+  fold(ops);
+}
+
+void ModContext::sqr(const Residue& a, Residue& out) const {
+  check_residue(*this, a);
+  Ops ops;
+  if (mont_) {
+    if (out.size() != k_) out.resize(k_);
+    ++ops.sqrs;
+    if (k_ <= Residue::kInlineLimbs) {
+      Limb scratch[2 * Residue::kInlineLimbs + 2];
+      mont_sqr_raw(a.limbs(), out.limbs(), scratch);
+    } else {
+      ArenaFrame frame(tls_arena());
+      mont_sqr_raw(a.limbs(), out.limbs(), frame.alloc(2 * k_ + 2));
+    }
+  } else {
+    ++ops.sqrs;
+    const BigInt v = BigInt::from_limbs(a.limbs(), a.size());
+    const BigInt r = (v * v).mod(n_);
+    out.resize(limb_count());
+    r.copy_limbs_to(out.limbs(), out.size());
+  }
+  fold(ops);
+}
+
+void ModContext::exp(const Residue& base, const BigInt& e, Residue& out) const {
+  check_residue(*this, base);
+  Ops ops;
+  if (mont_ && !e.negative()) {
+    if (out.size() != k_) out.resize(k_);
+    exp_mont_raw(base.limbs(), e, out.limbs(), ops);
+  } else {
+    // Negative exponent or even modulus: round-trip through BigInt.
+    BigInt b;
+    if (mont_) {
+      ArenaFrame frame(tls_arena());
+      Limb* scratch = frame.alloc(2 * k_ + 2);
+      b = from_mont_raw(base.limbs(), scratch, ops);
+      const BigInt r = exp_any(b, e, ops);
+      if (out.size() != k_) out.resize(k_);
+      to_mont_raw(r, out.limbs(), scratch, ops);
+    } else {
+      b = BigInt::from_limbs(base.limbs(), base.size());
+      const BigInt r = exp_any(b, e, ops);
+      out.resize(limb_count());
+      r.copy_limbs_to(out.limbs(), out.size());
+    }
+  }
+  g_exps.fetch_add(1, std::memory_order_relaxed);
+  fold(ops);
+}
+
+void ModContext::exp(const FixedBaseTable& table, const BigInt& e, Residue& out) const {
+  if (table.mod_fingerprint_ != n_.limbs()) {
+    throw std::invalid_argument("ModContext::exp: fixed-base table from another modulus");
+  }
+  Ops ops;
+  if (table.comb_available() && mont_ && !e.negative() &&
+      e.bit_length() <= table.bits_) {
+    if (out.size() != k_) out.resize(k_);
+    exp_comb_raw(table, e, out.limbs(), ops);
+  } else {
+    const BigInt r = exp_any(table.base_, e, ops);
+    if (mont_) {
+      if (out.size() != k_) out.resize(k_);
+      ArenaFrame frame(tls_arena());
+      Limb* scratch = frame.alloc(2 * k_ + 2);
+      to_mont_raw(r, out.limbs(), scratch, ops);
+    } else {
+      out.resize(limb_count());
+      r.copy_limbs_to(out.limbs(), out.size());
+    }
+  }
+  g_exps.fetch_add(1, std::memory_order_relaxed);
+  fold(ops);
+}
+
+// ------------------------------------------------------------- utilities
 
 bool sqrt_mod_p3(const ModContext& ctx, const BigInt& a, BigInt& out) {
   const BigInt& p = ctx.modulus();

@@ -2,11 +2,15 @@
 //
 // The implementation lives in mpint::ModContext (mod_context.h), the shared
 // per-modulus context layer: cached Montgomery constants, k-ary windowed
-// exponentiation and optional fixed-base comb tables. MontgomeryCtx remains
-// as the historical odd-modulus-only facade; new code should hold a
-// ModContext (and a FixedBaseTable for repeated-generator exponentiation)
-// directly. Constructing a context is O(size^2); callers cache one context
-// per long-lived modulus (see gka::SystemParams).
+// exponentiation over the allocation-free residue kernels (raw-limb CIOS
+// multiply plus the dedicated squaring kernel) and optional fixed-base comb
+// tables. MontgomeryCtx remains as the historical odd-modulus-only facade;
+// new code should hold a ModContext (and a FixedBaseTable for
+// repeated-generator exponentiation) directly — chained computations should
+// prefer the Residue API (ModContext::to_residue / mul / sqr / exp), which
+// converts once per chain instead of per call. Constructing a context is
+// O(size^2); callers cache one context per long-lived modulus (see
+// gka::SystemParams).
 #pragma once
 
 #include <stdexcept>

@@ -85,7 +85,14 @@ bool dsa_verify(const DsaParams& params, const mpint::ModContext& ctx_p, const B
   const BigInt w = mpint::mod_inverse(sig.s, params.q);
   const BigInt u1 = mpint::mod_mul(z, w, params.q);
   const BigInt u2 = mpint::mod_mul(sig.r, w, params.q);
-  const BigInt v = ctx_p.mul(ctx_p.exp(params.g, u1), ctx_p.exp(y, u2)).mod(params.q);
+  // g^u1 * y^u2 mod p as one residue chain; only the final value leaves the
+  // Montgomery domain (for the mod-q comparison).
+  mpint::Residue acc = ctx_p.to_residue(params.g);
+  ctx_p.exp(acc, u1, acc);
+  mpint::Residue term = ctx_p.to_residue(y);
+  ctx_p.exp(term, u2, term);
+  ctx_p.mul(acc, term, acc);
+  const BigInt v = ctx_p.from_residue(acc).mod(params.q);
   return v == sig.r;
 }
 

@@ -73,7 +73,12 @@ GqSigner::Commitment GqSigner::commit(mpint::Rng& rng) const {
 }
 
 BigInt GqSigner::respond(const Commitment& commitment, const BigInt& c) const {
-  return ctx_->mul(commitment.tau, ctx_->exp(secret_, c));
+  // tau * S^c mod n as one residue chain (single conversion out).
+  mpint::Residue acc = ctx_->to_residue(secret_);
+  ctx_->exp(acc, c, acc);
+  const mpint::Residue tau = ctx_->to_residue(commitment.tau);
+  ctx_->mul(acc, tau, acc);
+  return ctx_->from_residue(acc);
 }
 
 GqSignature GqSigner::sign(std::span<const std::uint8_t> message, mpint::Rng& rng) const {

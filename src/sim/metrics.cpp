@@ -116,6 +116,7 @@ std::string Metrics::to_json() const {
   w.key("crypto").begin_object();
   w.kv("exps", crypto_exps);
   w.kv("mod_muls", crypto_mod_muls);
+  w.kv("mod_sqrs", crypto_mod_sqrs);
   w.kv("multi_exps", crypto_multi_exps);
   w.end_object();
   w.kv("all_members_agree", all_members_agree);
@@ -204,6 +205,7 @@ std::string MultiGroupMetrics::to_json() const {
   w.key("crypto").begin_object();
   w.kv("exps", crypto_exps);
   w.kv("mod_muls", crypto_mod_muls);
+  w.kv("mod_sqrs", crypto_mod_sqrs);
   w.kv("multi_exps", crypto_multi_exps);
   w.end_object();
   w.kv("all_groups_agree", all_groups_agree());

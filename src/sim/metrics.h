@@ -77,6 +77,7 @@ struct Metrics {
   /// cost from event-loop cost in bench trajectories.
   std::uint64_t crypto_exps = 0;
   std::uint64_t crypto_mod_muls = 0;
+  std::uint64_t crypto_mod_sqrs = 0;
   std::uint64_t crypto_multi_exps = 0;
 
   bool all_members_agree = false;
@@ -110,6 +111,7 @@ struct MultiGroupMetrics {
   /// Crypto work across the whole run (all groups + authority setup).
   std::uint64_t crypto_exps = 0;
   std::uint64_t crypto_mod_muls = 0;
+  std::uint64_t crypto_mod_sqrs = 0;
   std::uint64_t crypto_multi_exps = 0;
   /// Clock value when the last group settled.
   SimTime end_time_us = 0;

@@ -246,6 +246,7 @@ struct Run {
     const mpint::OpCounts ops_end = mpint::op_counts();
     metrics.crypto_exps = ops_end.exps - ops_start.exps;
     metrics.crypto_mod_muls = ops_end.mod_muls - ops_start.mod_muls;
+    metrics.crypto_mod_sqrs = ops_end.mod_sqrs - ops_start.mod_sqrs;
     metrics.crypto_multi_exps = ops_end.multi_exps - ops_start.multi_exps;
     metrics.end_time_us = scheduler.now();
   }
@@ -487,6 +488,7 @@ MultiGroupMetrics MultiGroupRunner::run() {
   const mpint::OpCounts ops_end = mpint::op_counts();
   metrics.crypto_exps = ops_end.exps - ops_start.exps;
   metrics.crypto_mod_muls = ops_end.mod_muls - ops_start.mod_muls;
+  metrics.crypto_mod_sqrs = ops_end.mod_sqrs - ops_start.mod_sqrs;
   metrics.crypto_multi_exps = ops_end.multi_exps - ops_start.multi_exps;
   return metrics;
 }

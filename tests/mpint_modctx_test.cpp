@@ -271,6 +271,143 @@ TEST(ModContext, MultiExpCounterTracksCalls) {
   EXPECT_EQ(after.exps, before.exps);  // joint calls are not plain exps
 }
 
+// ------------------------------------------------------------ residues ---
+
+TEST(ModContext, ResidueChainMatchesBigIntOn500RandomTriples) {
+  XoshiroRng rng(40406);
+  for (int i = 0; i < 500; ++i) {
+    // Mixed widths and parities: every 4th modulus is even, so the
+    // canonical (non-Montgomery) residue fallback is exercised too.
+    const std::size_t bits = 16 + static_cast<std::size_t>(rng.next_u64() % 240);
+    BigInt m = random_bits(rng, bits);
+    if (m <= BigInt{1}) m = BigInt{2};
+    if (i % 4 == 0) {
+      if (m.is_odd()) m += BigInt{1};
+    } else if (m.is_even()) {
+      m += BigInt{1};
+    }
+    const BigInt a = random_bits(rng, 8 + static_cast<std::size_t>(rng.next_u64() % 256));
+    const BigInt b = random_bits(rng, 8 + static_cast<std::size_t>(rng.next_u64() % 256));
+    const BigInt e = random_bits(rng, 1 + static_cast<std::size_t>(rng.next_u64() % 160));
+    const ModContext ctx(m);
+
+    // Round trip is the identity on canonical values.
+    EXPECT_EQ(ctx.from_residue(ctx.to_residue(a)), a.mod(m));
+
+    // add / sub / mul / sqr / exp through the residue domain against the
+    // BigInt API (both domains are linear, so +/- commute with conversion).
+    const Residue ra = ctx.to_residue(a);
+    const Residue rb = ctx.to_residue(b);
+    Residue r;
+    ctx.add(ra, rb, r);
+    EXPECT_EQ(ctx.from_residue(r), (a + b).mod(m)) << "triple " << i << " m=" << m.to_hex();
+    ctx.sub(ra, rb, r);
+    EXPECT_EQ(ctx.from_residue(r), (a - b).mod(m)) << "triple " << i << " m=" << m.to_hex();
+    ctx.mul(ra, rb, r);
+    EXPECT_EQ(ctx.from_residue(r), ctx.mul(a, b)) << "triple " << i << " m=" << m.to_hex();
+    ctx.sqr(ra, r);
+    EXPECT_EQ(ctx.from_residue(r), ctx.mul(a, a)) << "triple " << i << " m=" << m.to_hex();
+    ctx.exp(ra, e, r);
+    EXPECT_EQ(ctx.from_residue(r), ctx.exp(a, e))
+        << "triple " << i << ": a=" << a.to_hex() << " e=" << e.to_hex() << " m=" << m.to_hex();
+  }
+}
+
+TEST(ModContext, ResidueEdgeCases) {
+  for (const std::uint64_t mod : {101ULL, 256ULL}) {  // odd + even-fallback
+    const BigInt m{mod};
+    const ModContext ctx(m);
+    const Residue zero = ctx.to_residue(BigInt{});
+    const Residue one = ctx.one_residue();
+    const Residue top = ctx.to_residue(m - BigInt{1});  // p - 1
+    EXPECT_EQ(ctx.from_residue(zero), BigInt{});
+    EXPECT_EQ(ctx.from_residue(one), BigInt{1});
+    EXPECT_EQ(ctx.from_residue(ctx.to_residue(m)), BigInt{});         // wraps
+    EXPECT_EQ(ctx.from_residue(ctx.to_residue(m + BigInt{5})), BigInt{5});
+    Residue r;
+    ctx.sqr(top, r);
+    EXPECT_EQ(ctx.from_residue(r), BigInt{1});  // (p-1)^2 = 1 mod p
+    ctx.mul(top, one, r);
+    EXPECT_EQ(ctx.from_residue(r), m - BigInt{1});
+    ctx.exp(zero, BigInt{0}, r);
+    EXPECT_EQ(ctx.from_residue(r), BigInt{1});  // 0^0 = 1
+    ctx.exp(top, BigInt{3}, r);
+    EXPECT_EQ(ctx.from_residue(r), ctx.exp(m - BigInt{1}, BigInt{3}));
+  }
+}
+
+TEST(ModContext, ResidueOpsAreAliasingSafe) {
+  XoshiroRng rng(40407);
+  BigInt m = random_bits(rng, 512);
+  if (m.is_even()) m += BigInt{1};
+  const ModContext ctx(m);
+  const BigInt a = random_below(rng, m);
+  const BigInt e{0x1d3557};
+  const Residue ra = ctx.to_residue(a);
+
+  Residue want;
+  ctx.add(ra, ra, want);
+  Residue r = ra;
+  ctx.add(r, r, r);  // out aliases both operands
+  EXPECT_EQ(ctx.from_residue(r), ctx.from_residue(want));
+
+  r = ra;
+  ctx.sub(r, r, r);
+  EXPECT_TRUE(r.is_zero());
+
+  ctx.mul(ra, ra, want);
+  r = ra;
+  ctx.mul(r, r, r);
+  EXPECT_EQ(ctx.from_residue(r), ctx.from_residue(want));
+
+  ctx.sqr(ra, want);
+  r = ra;
+  ctx.sqr(r, r);
+  EXPECT_EQ(ctx.from_residue(r), ctx.from_residue(want));
+
+  ctx.exp(ra, e, want);
+  r = ra;
+  ctx.exp(r, e, r);
+  EXPECT_EQ(ctx.from_residue(r), ctx.from_residue(want));
+}
+
+TEST(ModContext, ResidueAccumulationMatchesProductAndMultiExp) {
+  XoshiroRng rng(40408);
+  BigInt m = random_bits(rng, 384);
+  if (m.is_even()) m += BigInt{1};
+  const ModContext ctx(m);
+  std::vector<BigInt> bases(6);
+  std::vector<BigInt> exps(6);
+  Residue prod = ctx.one_residue();
+  Residue joint = ctx.one_residue();
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    bases[i] = random_below(rng, m);
+    exps[i] = random_bits(rng, 64);
+    Residue term = ctx.to_residue(bases[i]);
+    ctx.mul(prod, term, prod);
+    ctx.exp(term, exps[i], term);
+    ctx.mul(joint, term, joint);
+  }
+  EXPECT_EQ(ctx.from_residue(prod), ctx.product(bases));
+  EXPECT_EQ(ctx.from_residue(joint), ctx.multi_exp(bases, exps));
+}
+
+TEST(ModContext, SqrCounterTracksDedicatedKernel) {
+  const ModContext ctx(BigInt{101});
+  const Residue r = ctx.to_residue(BigInt{7});
+  Residue out;
+  const OpCounts before = op_counts();
+  for (int i = 0; i < 5; ++i) ctx.sqr(r, out);
+  ctx.mul(r, r, out);
+  const OpCounts mid = op_counts();
+  EXPECT_EQ(mid.mod_sqrs - before.mod_sqrs, 5U);  // mul never counts as sqr
+  // Square-heavy exponent ladders attribute their squarings to mod_sqrs.
+  (void)ctx.exp(BigInt{5}, BigInt{0xffff});
+  const OpCounts after = op_counts();
+  EXPECT_GT(after.mod_sqrs, mid.mod_sqrs);
+  EXPECT_GT(after.mod_muls, mid.mod_muls);
+}
+
 TEST(ModContext, ShimMatchesContext) {
   XoshiroRng rng(59);
   BigInt m = random_bits(rng, 192);
